@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures: results directory and table persistence.
+
+Each figure benchmark regenerates one panel of the paper (model +
+simulation series), times it with pytest-benchmark, writes the series
+table to ``benchmarks/results/<name>.txt`` and asserts the paper-shape
+properties.  Run with ``pytest benchmarks/ --benchmark-only``; set
+``REPRO_SIM_CYCLES`` to trade accuracy for time (default used by the
+benchmarks: 60 000 measured cycles per point).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_table(results_dir: pathlib.Path, name: str, content: str) -> None:
+    (results_dir / f"{name}.txt").write_text(content + "\n")

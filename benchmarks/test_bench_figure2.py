@@ -1,0 +1,94 @@
+"""Benchmark: regenerate the paper's Figure 2 (Lm = 100 flits).
+
+Same three panels as Figure 1 with 100-flit messages; additionally
+asserts the cross-figure claim that longer messages shrink every panel's
+saturation load by ~Lm ratio (the paper's axes shrink from 0.0006 to
+0.0002 at h = 20%, etc.).
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.experiments import format_panel_table, get_panel, run_panel, shape_metrics
+from repro.experiments.runner import sim_measure_cycles
+
+
+def _run_and_check(benchmark, results_dir, panel_name):
+    spec = get_panel(panel_name)
+    measure = sim_measure_cycles(60_000)
+    result = benchmark.pedantic(
+        lambda: run_panel(spec, measure_cycles=measure, seed=2005),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_panel_table(result)
+    metrics = shape_metrics(result)
+    report = (
+        f"{table}\n\n"
+        f"mean relative error (light/moderate): {metrics.mean_rel_error_light:.3f}\n"
+        f"mean relative error (all finite):     {metrics.mean_rel_error_all:.3f}\n"
+        f"model saturation rate: {metrics.model_saturation_rate}\n"
+        f"sim   saturation rate: {metrics.sim_saturation_rate}\n"
+        f"saturation ratio (model/sim): {metrics.saturation_ratio}\n"
+    )
+    save_table(results_dir, panel_name, report)
+    print("\n" + report)
+    benchmark.extra_info["rel_err_light"] = metrics.mean_rel_error_light
+    benchmark.extra_info["model_sat"] = metrics.model_saturation_rate
+    benchmark.extra_info["sim_sat"] = metrics.sim_saturation_rate
+
+    assert metrics.monotone_model
+    assert metrics.monotone_sim
+    assert metrics.model_saturation_rate is not None
+    if not math.isnan(metrics.mean_rel_error_light):
+        assert metrics.mean_rel_error_light < 0.5
+    if metrics.saturation_ratio is not None:
+        assert 0.5 <= metrics.saturation_ratio <= 2.0
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_fig2_h20(benchmark, results_dir):
+    _run_and_check(benchmark, results_dir, "fig2_h20")
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_fig2_h40(benchmark, results_dir):
+    _run_and_check(benchmark, results_dir, "fig2_h40")
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_fig2_h70(benchmark, results_dir):
+    _run_and_check(benchmark, results_dir, "fig2_h70")
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_fig2_message_length_scaling(benchmark, results_dir):
+    """Lm = 100 panels saturate ~Lm-ratio earlier than Lm = 32 ones —
+    the paper's axes imply factors near 3 (0.0006/0.0002, 0.0004/0.00012,
+    0.0002/0.00007)."""
+
+    def compute():
+        from repro.core.model import HotSpotLatencyModel
+
+        ratios = {}
+        for h in (0.2, 0.4, 0.7):
+            s32 = HotSpotLatencyModel(
+                k=16, message_length=32, hotspot_fraction=h
+            ).saturation_rate(hi=0.01)
+            s100 = HotSpotLatencyModel(
+                k=16, message_length=100, hotspot_fraction=h
+            ).saturation_rate(hi=0.01)
+            ratios[h] = s32 / s100
+        return ratios
+
+    ratios = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report = "saturation ratio Lm=32 / Lm=100: " + ", ".join(
+        f"h={h:.0%}: {r:.2f}" for h, r in sorted(ratios.items())
+    )
+    save_table(results_dir, "fig2_message_length_scaling", report)
+    print("\n" + report)
+    # Bandwidth-bound scaling: (100+1)/(32+1) ~ 3.06.
+    for h, r in ratios.items():
+        assert r == pytest.approx(101 / 33, rel=0.25), h

@@ -1,0 +1,76 @@
+"""Throughput benchmarks: model solve speed and simulator cycle rate.
+
+These are conventional pytest-benchmark timings (multiple rounds) of the
+two engines a user pays for: one analytical evaluation at moderate load,
+and flit-level simulation throughput in cycles/second (reported via
+``extra_info``).
+"""
+
+import pytest
+
+from repro.core.model import HotSpotLatencyModel
+from repro.core.uniform import UniformLatencyModel
+from repro.simulator import Simulation, SimulationConfig
+from repro.simulator.router import RouteTable
+from repro.topology import KAryNCube
+
+
+@pytest.mark.benchmark(group="speed")
+def test_model_evaluate_speed(benchmark):
+    model = HotSpotLatencyModel(k=16, message_length=32, hotspot_fraction=0.4)
+    result = benchmark(lambda: model.evaluate(2e-4))
+    assert result.finite
+
+
+@pytest.mark.benchmark(group="speed")
+def test_model_saturation_search_speed(benchmark):
+    model = HotSpotLatencyModel(k=16, message_length=32, hotspot_fraction=0.2)
+    rate = benchmark.pedantic(
+        lambda: model.saturation_rate(hi=0.01, tol=1e-6), rounds=3, iterations=1
+    )
+    assert 1e-5 < rate < 1e-2
+
+@pytest.mark.benchmark(group="speed")
+def test_uniform_model_speed(benchmark):
+    model = UniformLatencyModel(k=16, n=2, message_length=32)
+    result = benchmark(lambda: model.evaluate(1e-3))
+    assert result.finite
+
+
+@pytest.mark.benchmark(group="speed")
+def test_simulator_cycle_rate(benchmark):
+    cfg = SimulationConfig(
+        k=16,
+        message_length=32,
+        rate=3e-4,
+        hotspot_fraction=0.2,
+        warmup_cycles=0,
+        measure_cycles=20_000,
+        seed=99,
+    )
+
+    def run():
+        return Simulation(cfg).run()
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    cycles_per_sec = res.cycles_run / benchmark.stats["mean"]
+    benchmark.extra_info["cycles_per_second"] = cycles_per_sec
+    benchmark.extra_info["completions"] = res.num_completed
+    assert res.num_completed > 0
+
+
+@pytest.mark.benchmark(group="speed")
+def test_route_table_throughput(benchmark):
+    net = KAryNCube(k=16, n=2)
+    table = RouteTable(net)
+    pairs = [(s, (s * 37 + 11) % 256) for s in range(256)]
+    pairs = [(s, d) for s, d in pairs if s != d]
+
+    def route_all():
+        total = 0
+        for s, d in pairs:
+            total += len(table.route(s, d)[0])
+        return total
+
+    total = benchmark(route_all)
+    assert total > 0

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Global barrier synchronisation as a hot-spot workload.
+
+The paper motivates hot-spots with "global synchronisation [23] where
+each node in the system sends a synchronisation message to a
+distinguished node".  This example models a parallel application that
+alternates compute phases with barriers on a 2-D torus:
+
+* between barriers, nodes exchange uniform traffic (the application's
+  regular communication);
+* at each barrier, every node sends a short message to the barrier
+  master — a transient 100%-hot-spot burst.
+
+Sweeping the fraction of traffic that is barrier-bound shows how quickly
+the barrier master's column becomes the system bottleneck: the sustainable
+application throughput collapses roughly as 1/h, the model's bandwidth
+limit lam*h*k(k-1)*(Lm+1) ~ 1.
+
+Run:  python examples/barrier_synchronization.py
+"""
+
+import os
+
+import numpy as np
+
+from repro import HotSpotLatencyModel, Simulation, SimulationConfig
+
+QUICK = bool(os.environ.get("REPRO_QUICK"))
+
+K = 16
+BARRIER_MSG = 8  # short synchronisation messages (flits)
+
+
+def sustainable_rate(h: float) -> float:
+    """Highest per-node rate the model sustains at barrier share h."""
+    model = HotSpotLatencyModel(k=K, message_length=BARRIER_MSG, hotspot_fraction=h)
+    return model.saturation_rate(hi=0.05)
+
+
+def main() -> None:
+    print(f"{K}x{K} torus, {BARRIER_MSG}-flit barrier messages")
+    print("barrier share h | sustainable rate | latency at 60% of it")
+    print("-" * 58)
+    shares = (0.1, 0.2, 0.4, 0.6, 0.8)
+    for h in shares:
+        sat = sustainable_rate(h)
+        model = HotSpotLatencyModel(
+            k=K, message_length=BARRIER_MSG, hotspot_fraction=h
+        )
+        lat = model.evaluate(0.6 * sat).latency
+        print(f"{h:>15.0%} | {sat:>16.6f} | {lat:>10.1f} cycles")
+
+    # The collapse is ~1/h: doubling the barrier share halves throughput.
+    s1, s2 = sustainable_rate(0.2), sustainable_rate(0.4)
+    print(f"\nthroughput ratio h=20% vs h=40%: {s1 / s2:.2f} (≈2 expected)")
+
+    # Validate one barrier-heavy operating point in simulation.
+    h = 0.4
+    rate = 0.5 * sustainable_rate(h)
+    cfg = SimulationConfig(
+        k=K,
+        message_length=BARRIER_MSG,
+        rate=rate,
+        hotspot_fraction=h,
+        warmup_cycles=2_000 if QUICK else 10_000,
+        measure_cycles=20_000 if QUICK else 100_000,
+        seed=23,
+    )
+    sim = Simulation(cfg).run()
+    model = HotSpotLatencyModel(k=K, message_length=BARRIER_MSG, hotspot_fraction=h)
+    print(f"\nvalidation at h={h:.0%}, rate={rate:.6f}:")
+    print(f"  simulated {sim.mean_latency:.1f} cycles, model "
+          f"{model.evaluate(rate).latency:.1f} cycles")
+    print(f"  barrier-master inbound channel utilisation: "
+          f"{sim.hot_sink_utilization:.2f}")
+
+
+if __name__ == "__main__":
+    main()

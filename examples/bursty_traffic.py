@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bursty (non-Poisson) hot-spot traffic — the paper's future work.
+
+The paper closes with: "there have been some attempts to construct
+analytical models for interconnection networks operating under
+non-Poissonian traffic load, including bursty and self-similar traffic.
+Our next objective is to extend the above modelling approach to deal
+with such traffic patterns."
+
+This example quantifies exactly the gap that extension would close.  It
+runs the flit-level simulator under three source processes with the SAME
+mean rate and hot-spot fraction:
+
+* Poisson (the model's assumption i),
+* Markov-modulated ON/OFF bursts (exponential sojourns, multi-message
+  bursts),
+* heavy-tailed Pareto ON/OFF bursts (the self-similar construction),
+
+and compares each against the Poisson-based analytical model.  Burstiness
+leaves the mean load unchanged but piles arrivals into the hot column
+simultaneously, so the measured latency rises above the Poisson
+simulation at the same mean rate — a dependence the Poisson-based model
+cannot express, and the quantitative motivation for the paper's next
+paper.
+
+Run:  python examples/bursty_traffic.py
+"""
+
+import os
+
+from repro import HotSpotLatencyModel, Simulation, SimulationConfig
+from repro.traffic.burst import (
+    ExponentialArrivals,
+    OnOffArrivals,
+    ParetoOnOffArrivals,
+)
+
+QUICK = bool(os.environ.get("REPRO_QUICK"))
+
+K, LM, H = 16, 32, 0.4
+
+
+def main() -> None:
+    model = HotSpotLatencyModel(k=K, message_length=LM, hotspot_fraction=H)
+    rate = 0.7 * model.saturation_rate(hi=0.01)
+    predicted = model.evaluate(rate).latency
+    print(f"{K}x{K} torus, Lm={LM}, h={H:.0%}, rate={rate:.6f} "
+          f"(70% of Poisson saturation)")
+    print(f"Poisson-based model prediction: {predicted:.1f} cycles\n")
+
+    cfg = SimulationConfig(
+        k=K,
+        message_length=LM,
+        rate=rate,
+        hotspot_fraction=H,
+        warmup_cycles=2_000 if QUICK else 15_000,
+        measure_cycles=20_000 if QUICK else 150_000,
+        seed=17,
+    )
+    sources = [
+        ("Poisson (assumption i)", ExponentialArrivals(rate)),
+        ("ON/OFF bursts (burstiness 5)", OnOffArrivals(rate, burstiness=5.0, on_mean=3000.0)),
+        ("ON/OFF bursts (burstiness 10)", OnOffArrivals(rate, burstiness=10.0, on_mean=3000.0)),
+        (
+            "Pareto ON/OFF (alpha=1.5, burstiness 5)",
+            ParetoOnOffArrivals(rate, burstiness=5.0, on_mean=3000.0, alpha=1.5),
+        ),
+    ]
+    print(f"{'source process':>40} | {'sim latency':>11} | {'vs model':>8}")
+    print("-" * 68)
+    for name, arrivals in sources:
+        res = Simulation(cfg, arrival_model=arrivals).run()
+        tag = "SATURATED" if res.saturated else f"{res.mean_latency:10.1f}"
+        ratio = (
+            "-" if res.saturated else f"{res.mean_latency / predicted:7.2f}x"
+        )
+        print(f"{name:>40} | {tag:>11} | {ratio:>8}")
+    print("\n(Equal mean load, very different latency: burstiness piles "
+          "arrivals into\n the hot column simultaneously and raises the "
+          "measured latency over the\n Poisson simulation — the dependence "
+          "a Poisson-based model cannot express,\n and exactly the gap the "
+          "paper's stated future work on bursty/self-similar\n traffic "
+          "would close.)")
+
+
+if __name__ == "__main__":
+    main()

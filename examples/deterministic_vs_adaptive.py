@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Deterministic vs adaptive routing under hot-spot traffic.
+
+The paper's introduction frames the design space: adaptive routing gives
+messages "more flexibility ... avoiding congested regions", but "at the
+expense of complex router hardware", and cites evidence [22] that under
+realistic traffic "the performance advantages of deterministic routing
+can even approach those of adaptive routing".
+
+This example puts numbers on that trade-off for hot-spot traffic using
+the flit-level simulator's two routing modes (same network, same V=4
+virtual channels; the adaptive mode reserves two of them as Duato escape
+channels):
+
+* at light load and *uniform* traffic the two are indistinguishable —
+  the [22] observation;
+* under hot-spot traffic, adaptive roughly doubles the sustainable load:
+  the deterministic x-then-y order funnels every hot message through the
+  hot node's single y-channel, while adaptive traffic enters through
+  both of the hot node's incoming channels.
+
+Run:  python examples/deterministic_vs_adaptive.py
+"""
+
+import os
+from dataclasses import replace
+
+from repro import HotSpotLatencyModel, Simulation, SimulationConfig
+
+QUICK = bool(os.environ.get("REPRO_QUICK"))
+
+K, LM = 16, 32
+
+
+def run(rate: float, h: float, routing: str) -> "tuple[float, bool]":
+    cfg = SimulationConfig(
+        k=K,
+        message_length=LM,
+        rate=rate,
+        hotspot_fraction=h,
+        routing=routing,
+        num_vcs=4,
+        warmup_cycles=2_000 if QUICK else 10_000,
+        measure_cycles=15_000 if QUICK else 80_000,
+        seed=41,
+    )
+    res = Simulation(cfg).run()
+    return res.mean_latency, res.saturated
+
+
+def main() -> None:
+    h = 0.4
+    model = HotSpotLatencyModel(
+        k=K, message_length=LM, hotspot_fraction=h, num_vcs=4
+    )
+    knee = model.saturation_rate(hi=0.01)
+    print(f"{K}x{K} torus, Lm={LM}, V=4; deterministic knee (model): "
+          f"{knee:.6f}\n")
+
+    print("uniform traffic (h=0), light load — the [22] regime:")
+    for rate in (0.3 * knee, 0.6 * knee):
+        d, _ = run(rate, 0.0, "deterministic")
+        a, _ = run(rate, 0.0, "adaptive")
+        print(f"  rate {rate:.6f}: deterministic {d:6.1f}  adaptive {a:6.1f} "
+              f"cycles  (ratio {a / d:.2f})")
+
+    print(f"\nhot-spot traffic (h={h:.0%}), load sweep across the "
+          f"deterministic knee:")
+    print(f"{'rate':>12} | {'deterministic':>14} | {'adaptive':>14}")
+    print("-" * 48)
+    for frac in (0.5, 0.8, 1.1, 1.5, 1.9):
+        rate = frac * knee
+        d, ds = run(rate, h, "deterministic")
+        a, asat = run(rate, h, "adaptive")
+        dtxt = "saturated" if ds else f"{d:.1f}"
+        atxt = "saturated" if asat else f"{a:.1f}"
+        print(f"{rate:>12.6f} | {dtxt:>14} | {atxt:>14}")
+
+    print("\n(Deterministic funnels all hot traffic through one incoming "
+          "channel of\n the hot node; adaptive uses both, ~doubling the "
+          "sink bandwidth — at the\n router-complexity cost the paper's "
+          "introduction warns about.  At light\n uniform load the two "
+          "coincide, the observation of [22] that motivates\n modelling "
+          "deterministic routing at all.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: predict and measure hot-spot latency on a 2-D torus.
+
+Builds the paper's headline configuration — a 16x16 unidirectional torus
+with dimension-order wormhole routing, 32-flit messages and 20% hot-spot
+traffic — evaluates the analytical model over a load sweep, validates one
+operating point against the flit-level simulator, and prints the
+latency-vs-load series exactly like one panel of the paper's Figure 1.
+
+Run:  python examples/quickstart.py
+Environment:  REPRO_QUICK=1 shrinks the simulation for smoke tests.
+"""
+
+import os
+
+import numpy as np
+
+from repro import HotSpotLatencyModel, Simulation, SimulationConfig
+
+QUICK = bool(os.environ.get("REPRO_QUICK"))
+
+
+def main() -> None:
+    k, lm, h = 16, 32, 0.20
+    model = HotSpotLatencyModel(k=k, message_length=lm, hotspot_fraction=h)
+
+    # 1. Where does the network stop being stable?
+    saturation = model.saturation_rate(hi=0.01)
+    print(f"{k}x{k} torus, Lm={lm} flits, h={h:.0%}, V=2 virtual channels")
+    print(f"model saturation point: {saturation:.6f} messages/cycle/node\n")
+
+    # 2. Latency-vs-load curve (the paper's Figure 1, h=20% panel).
+    print(f"{'traffic':>12} | {'latency (cycles)':>17}")
+    print("-" * 33)
+    for frac in np.linspace(0.1, 1.0, 10):
+        rate = frac * saturation
+        res = model.evaluate(rate)
+        latency = f"{res.latency:.1f}" if res.finite else "saturated"
+        print(f"{rate:>12.6f} | {latency:>17}")
+
+    # 3. Validate one operating point against the flit-level simulator.
+    rate = 0.5 * saturation
+    cfg = SimulationConfig(
+        k=k,
+        message_length=lm,
+        rate=rate,
+        hotspot_fraction=h,
+        warmup_cycles=2_000 if QUICK else 15_000,
+        measure_cycles=15_000 if QUICK else 120_000,
+        seed=7,
+    )
+    print(f"\nsimulating {cfg.total_cycles} cycles at rate {rate:.6f} ...")
+    sim = Simulation(cfg).run()
+    mdl = model.evaluate(rate)
+    print(f"simulated latency: {sim.mean_latency:7.1f} cycles "
+          f"(95% CI ±{sim.ci95 or 0:.1f}, {sim.num_completed} messages)")
+    print(f"model latency:     {mdl.latency:7.1f} cycles")
+    err = abs(mdl.latency - sim.mean_latency) / sim.mean_latency
+    print(f"relative error:    {err:7.1%}")
+
+
+if __name__ == "__main__":
+    main()

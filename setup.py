@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+``pip install -e .`` needs the ``wheel`` package, which is not available
+in the offline evaluation environment; ``python setup.py develop`` (or a
+``.pth`` file pointing at ``src/``) achieves the same editable install.
+Metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``model``       evaluate the analytical model at one load or over a sweep
+``saturation``  locate the model's saturation point
+``simulate``    run one flit-level simulation
+``panel``       regenerate a paper figure panel (model, optionally + sim)
+``list-panels`` show the available panels
+
+Examples
+--------
+::
+
+    python -m repro model --k 16 --lm 32 --h 0.2 --rate 3e-4
+    python -m repro model --k 16 --lm 32 --h 0.4 --sweep 8 --plot
+    python -m repro saturation --k 16 --lm 100 --h 0.7
+    python -m repro simulate --k 16 --lm 32 --h 0.2 --rate 3e-4 --cycles 50000
+    python -m repro panel fig1_h40 --simulate
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.model import HotSpotLatencyModel
+from repro.core.uniform import UniformLatencyModel
+from repro.experiments import (
+    ALL_PANELS,
+    format_panel_table,
+    get_panel,
+    run_panel,
+    run_panel_model_only,
+    shape_metrics,
+)
+from repro.simulator import Simulation, SimulationConfig
+from repro.viz import plot_sweeps
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_network_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--k", type=int, default=16, help="radix (k x k torus)")
+    p.add_argument("--lm", type=int, default=32, help="message length in flits")
+    p.add_argument("--h", type=float, default=0.2, help="hot-spot fraction")
+    p.add_argument("--vcs", type=int, default=2, help="virtual channels")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Hot-spot traffic in deterministically-routed k-ary n-cubes "
+            "(Loucif, Ould-Khaoua & Min, IPDPS 2005): analytical model and "
+            "flit-level simulator."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_model = sub.add_parser("model", help="evaluate the analytical model")
+    _add_network_args(p_model)
+    p_model.add_argument("--rate", type=float, help="one load (messages/cycle/node)")
+    p_model.add_argument(
+        "--sweep", type=int, metavar="N", help="sweep N loads up to saturation"
+    )
+    p_model.add_argument("--plot", action="store_true", help="ASCII chart")
+    p_model.add_argument(
+        "--literal-entrance",
+        action="store_true",
+        help="use the paper's literal entrance service times (no trip averaging)",
+    )
+
+    p_sat = sub.add_parser("saturation", help="locate the saturation point")
+    _add_network_args(p_sat)
+
+    p_sim = sub.add_parser("simulate", help="run one flit-level simulation")
+    _add_network_args(p_sim)
+    p_sim.add_argument("--rate", type=float, required=True)
+    p_sim.add_argument("--cycles", type=int, default=120_000, help="measured cycles")
+    p_sim.add_argument("--warmup", type=int, default=None)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--ejection", action="store_true", help="model a real ejection channel"
+    )
+
+    p_panel = sub.add_parser("panel", help="regenerate a paper figure panel")
+    p_panel.add_argument("name", choices=sorted(ALL_PANELS))
+    p_panel.add_argument(
+        "--simulate", action="store_true", help="also run the simulator series"
+    )
+    p_panel.add_argument("--cycles", type=int, default=None)
+    p_panel.add_argument("--plot", action="store_true")
+
+    sub.add_parser("list-panels", help="list the paper's figure panels")
+    return parser
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    model = HotSpotLatencyModel(
+        k=args.k,
+        message_length=args.lm,
+        hotspot_fraction=args.h,
+        num_vcs=args.vcs,
+        trip_averaging=not args.literal_entrance,
+    ) if args.h > 0 else UniformLatencyModel(
+        k=args.k,
+        n=2,
+        message_length=args.lm,
+        num_vcs=args.vcs,
+        trip_averaging=not args.literal_entrance,
+    )
+    if args.rate is None and args.sweep is None:
+        print("error: give --rate or --sweep N", file=sys.stderr)
+        return 2
+    if args.rate is not None:
+        res = model.evaluate(args.rate)
+        if res.saturated:
+            print(f"rate {args.rate:g}: SATURATED (no finite steady state)")
+        else:
+            print(f"rate {args.rate:g}: latency {res.latency:.2f} cycles")
+            if res.breakdown is not None:
+                b = res.breakdown
+                print(f"  regular {b.regular_total:.2f}  hot {b.hot_total:.2f}  "
+                      f"source wait {b.regular_source_wait:.2f}")
+        return 0
+    sat = model.saturation_rate(hi=0.05)
+    rates = np.linspace(0.08, 1.02, args.sweep) * sat
+    sweep = model.sweep([float(r) for r in rates], label="model")
+    print(f"{'rate':>14} | {'latency (cycles)':>16}")
+    print("-" * 34)
+    for p in sweep.points:
+        lat = "saturated" if p.saturated else f"{p.latency:.1f}"
+        print(f"{p.rate:>14.6g} | {lat:>16}")
+    if args.plot:
+        print()
+        print(plot_sweeps([sweep]))
+    return 0
+
+
+def _cmd_saturation(args: argparse.Namespace) -> int:
+    model = HotSpotLatencyModel(
+        k=args.k, message_length=args.lm, hotspot_fraction=args.h, num_vcs=args.vcs
+    )
+    sat = model.saturation_rate(hi=0.05)
+    bound = 1.0 / (args.h * args.k * (args.k - 1) * (args.lm + 1)) if args.h else None
+    print(f"saturation rate: {sat:.6g} messages/cycle/node")
+    if bound:
+        print(f"hot-sink bandwidth bound lam*h*k(k-1)*(Lm+1)=1: {bound:.6g} "
+              f"(model at {sat / bound:.0%} of it)")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    cfg = SimulationConfig(
+        k=args.k,
+        message_length=args.lm,
+        rate=args.rate,
+        hotspot_fraction=args.h,
+        num_vcs=args.vcs,
+        warmup_cycles=args.warmup if args.warmup is not None else max(args.cycles // 8, 1_000),
+        measure_cycles=args.cycles,
+        seed=args.seed,
+        model_ejection=args.ejection,
+    )
+    res = Simulation(cfg).run()
+    print(f"completed {res.num_completed} messages over {res.cycles_run} cycles")
+    if res.num_completed:
+        ci = f" ± {res.ci95:.1f}" if res.ci95 is not None else ""
+        print(f"mean latency: {res.mean_latency:.1f}{ci} cycles")
+        if not math.isnan(res.mean_latency_hot):
+            print(f"  hot {res.mean_latency_hot:.1f}  "
+                  f"regular {res.mean_latency_regular:.1f}")
+    print(f"max channel utilisation: {res.max_channel_utilization:.3f} "
+          f"(hot sink {res.hot_sink_utilization:.3f})")
+    print(f"saturated: {res.saturated}")
+    return 0
+
+
+def _cmd_panel(args: argparse.Namespace) -> int:
+    spec = get_panel(args.name)
+    if args.simulate:
+        result = run_panel(spec, measure_cycles=args.cycles)
+    else:
+        result = run_panel_model_only(spec)
+    print(format_panel_table(result))
+    if args.simulate:
+        m = shape_metrics(result)
+        print(f"\nmean relative error (light/moderate load): "
+              f"{m.mean_rel_error_light:.1%}")
+    if args.plot:
+        sweeps = [result.model] + (
+            [result.simulation] if result.simulation is not None else []
+        )
+        print()
+        print(plot_sweeps(sweeps))
+    return 0
+
+
+def _cmd_list_panels() -> int:
+    for name, spec in sorted(ALL_PANELS.items()):
+        print(f"{name:10} {spec.description}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "model":
+        return _cmd_model(args)
+    if args.command == "saturation":
+        return _cmd_saturation(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "panel":
+        return _cmd_panel(args)
+    if args.command == "list-panels":
+        return _cmd_list_panels()
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,105 @@
+"""Hypercube hot-spot baseline (the paper's predecessor model [12]).
+
+Loucif & Ould-Khaoua, "Modelling latency in deterministic wormhole-routed
+hypercubes under hot-spot traffic", J. Supercomputing 27(3), 2004, is the
+paper's own prior work and the model it generalises from the binary
+hypercube to high-radix tori.  A hypercube is exactly the k-ary n-cube
+with ``k = 2`` (the paper, §1: "no study has been so far reported ... for
+modelling deterministic routing in HIGH RADIX k-ary n-cubes"), so the
+baseline falls out of the n-dimensional machinery:
+
+* e-cube (dimension-order) routing corrects one bit per dimension;
+* per-dimension hot-spot rate: the dimension-``i`` channel on the hot
+  path carries the hot traffic of the ``2**i`` sources that share its
+  trailing bits — ``lam^h_i = lam * h * 2**i`` (the ``k - j`` factor of
+  eqs 6-7 degenerates to 1);
+* a regular message uses each dimension with probability 1/2, crossing
+  ``n/2`` channels on average (eq 2 with ``k̄ = 1/2``).
+
+:class:`HypercubeHotSpotModel` wraps :class:`~repro.core.ndim.NDimHotSpotModel`
+at ``k = 2`` with hypercube-flavoured accessors; the flit-level simulator
+runs the same configuration via ``SimulationConfig(k=2, n=dims)``, which
+is how ``tests/test_hypercube.py`` validates the baseline end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.fixed_point import FixedPointSolver
+from repro.core.ndim import NDimHotSpotModel
+from repro.core.results import ModelResult, SweepResult
+
+__all__ = ["HypercubeHotSpotModel"]
+
+
+class HypercubeHotSpotModel:
+    """Mean-latency model for hot-spot traffic in a binary n-cube.
+
+    Parameters
+    ----------
+    dimensions:
+        Hypercube dimension ``n`` (``N = 2**n`` nodes).
+    message_length, hotspot_fraction, num_vcs:
+        As in :class:`~repro.core.model.HotSpotLatencyModel`.  Note the
+        hypercube has no wrap-around channels, so deadlock freedom does
+        not *require* 2 VCs; they are kept for comparability with the
+        torus models (and extra VCs still multiplex bandwidth).
+    """
+
+    def __init__(
+        self,
+        dimensions: int,
+        message_length: int,
+        hotspot_fraction: float,
+        num_vcs: int = 2,
+        *,
+        solver: Optional[FixedPointSolver] = None,
+    ) -> None:
+        if dimensions < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimensions}")
+        self.dimensions = int(dimensions)
+        self._model = NDimHotSpotModel(
+            k=2,
+            n=dimensions,
+            message_length=message_length,
+            hotspot_fraction=hotspot_fraction,
+            num_vcs=num_vcs,
+            solver=solver,
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return 2**self.dimensions
+
+    @property
+    def mean_message_hops(self) -> float:
+        """Eq (2) at k = 2: ``n/2`` (each address bit flips w.p. 1/2)."""
+        return self.dimensions / 2.0
+
+    def hot_rate(self, dim: int) -> float:
+        """Hot-spot rate factor on the dimension-``dim`` hot-path channel.
+
+        Multiply by the generation rate ``lam``; equals ``h * 2**dim``.
+        """
+        return self._model.hot_rate(dim, 1)
+
+    def evaluate(self, rate: float) -> ModelResult:
+        """Mean message latency at per-node rate ``rate``."""
+        return self._model.evaluate(rate)
+
+    def sweep(self, rates, label: str = "hypercube-model") -> SweepResult:
+        return self._model.sweep(rates, label=label)
+
+    def saturation_rate(self, hi: float = 0.5, tol: float = 1e-7) -> float:
+        """Smallest saturated rate (bisection)."""
+        if not self.evaluate(hi).saturated:
+            raise ValueError(f"upper bound {hi} does not saturate the model")
+        lo_rate, hi_rate = 0.0, hi
+        while hi_rate - lo_rate > tol * max(1.0, hi_rate):
+            mid = 0.5 * (lo_rate + hi_rate)
+            if self.evaluate(mid).saturated:
+                hi_rate = mid
+            else:
+                lo_rate = mid
+        return hi_rate

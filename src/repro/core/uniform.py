@@ -1,0 +1,239 @@
+"""Uniform-traffic baseline model (the ``h = 0`` degenerate case).
+
+Before this paper, analytical models of deterministic wormhole routing in
+k-ary n-cubes assumed a uniform traffic distribution (the paper cites
+Dally [4] and Draper & Ghosh [6] among others).  This module implements
+that baseline with the same modelling machinery — M/G/1 blocking at every
+channel, Dally VC multiplexing, M/G/1 source queue — for an
+``n``-dimensional unidirectional k-ary n-cube.
+
+Two uses:
+
+* a correctness cross-check: at ``h = 0`` the hot-spot model of
+  :class:`~repro.core.model.HotSpotLatencyModel` must coincide with this
+  baseline for ``n = 2`` (tested in ``tests/test_model.py``);
+* the "what did hot-spots change" comparisons in the examples and
+  ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.equations import chained_service_profile, regular_service_profile
+from repro.core.fixed_point import FixedPointSolver, FixedPointStatus
+from repro.core.results import ModelResult, SweepPoint, SweepResult
+from repro.queueing.blocking import BlockingInputs, blocking_delay
+from repro.queueing.mg1 import mg1_waiting_time
+from repro.queueing.vc_multiplexing import multiplexing_degree
+
+__all__ = ["UniformLatencyModel"]
+
+
+class UniformLatencyModel:
+    """Mean-latency model for uniform traffic in a k-ary n-cube.
+
+    Messages cross dimensions in increasing order; by symmetry every
+    channel of dimension ``i`` carries rate ``lam_r = lam * (k-1)/2``
+    (eq 3 with ``h = 0``).  The per-dimension entrance service times
+    ``S_i`` obey
+
+        S_{n-1,j} = j (1 + B_{n-1}) + Lm
+        S_{i,j}   = j (1 + B_i) + P(later dims used | reached) * ...
+
+    Following the 2-D hot-spot model's structure, a message entering
+    dimension ``i`` either terminates there or chains into the entrance
+    service time of the next *used* dimension; with uniform traffic each
+    later dimension is skipped with probability ``1/k``.  The same
+    ``trip_averaging`` switch as the hot-spot model selects entrance
+    values or trip-length-averaged values.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        n: int,
+        message_length: int,
+        num_vcs: int = 2,
+        *,
+        trip_averaging: bool = True,
+        blocking_service: "BlockingServicePolicy | str" = "transmission",
+        solver: Optional[FixedPointSolver] = None,
+    ) -> None:
+        if k < 3:
+            raise ValueError(f"radix must be >= 3, got {k}")
+        if n < 1:
+            raise ValueError(f"dimensions must be >= 1, got {n}")
+        if message_length < 1:
+            raise ValueError(f"message length must be >= 1, got {message_length}")
+        if num_vcs < 2:
+            raise ValueError(f"need >= 2 virtual channels, got {num_vcs}")
+        self.k = int(k)
+        self.n = int(n)
+        self.num_nodes = self.k**self.n
+        self.message_length = int(message_length)
+        self.num_vcs = int(num_vcs)
+        self.trip_averaging = bool(trip_averaging)
+        from repro.core.model import BlockingServicePolicy
+
+        if isinstance(blocking_service, str):
+            blocking_service = BlockingServicePolicy(blocking_service)
+        self.blocking_service = blocking_service
+        self.solver = solver or FixedPointSolver(
+            tol=1e-10, max_iterations=5_000, damping=0.5
+        )
+
+    @property
+    def regular_rate_factor(self) -> float:
+        """Channel rate per unit generation rate: ``(k-1)/2``."""
+        return (self.k - 1) / 2.0
+
+    def _competing_service(self, entry: float) -> float:
+        """Service time charged to competing traffic per the policy.
+
+        Under uniform traffic there is a single class, so HOLDING and
+        ENTRANCE coincide on the entrance value; TRANSMISSION charges the
+        bandwidth occupancy ``Lm + 1``.
+        """
+        from repro.core.model import BlockingServicePolicy
+
+        if self.blocking_service is BlockingServicePolicy.TRANSMISSION:
+            return float(self.message_length + 1)
+        return entry
+
+    def _class_latency(self, profile: np.ndarray) -> float:
+        if self.trip_averaging:
+            return float(np.mean(profile[: self.k - 1]))
+        return float(profile[-1])
+
+    def _entrance_times(self, rate: float, entries: np.ndarray) -> np.ndarray:
+        """One update of the per-dimension entrance service times.
+
+        ``entries[i]`` is the previous iterate of dimension i's entrance
+        service time (used as the competing traffic's service time in the
+        blocking term of dimension i).
+        """
+        k, lm = self.k, self.message_length
+        lam_r = rate * self.regular_rate_factor
+        new = np.empty(self.n)
+        # Walk dimensions from the last (terminates at the PE) backwards.
+        next_entry: float | None = None
+        for i in reversed(range(self.n)):
+            b = blocking_delay(
+                BlockingInputs(lam_r, 0.0, self._competing_service(float(entries[i])), 0.0),
+                lm,
+            )
+            if not math.isfinite(b):
+                return np.full(self.n, np.inf)
+            if next_entry is None:
+                prof = regular_service_profile(k, b, lm)
+            else:
+                # A message that continues past dimension i uses each later
+                # dimension with probability (k-1)/k; the expected
+                # continuation is the weighted mix of draining (Lm) and the
+                # next dimension's entrance time.
+                p_use = (k - 1.0) / k
+                tail = p_use * next_entry + (1.0 - p_use) * lm
+                prof = chained_service_profile(k, b, tail)
+            new[i] = prof[-1]
+            next_entry = self._class_latency(prof) if self.trip_averaging else prof[-1]
+        return new
+
+    def evaluate(self, rate: float) -> ModelResult:
+        """Mean message latency at per-node rate ``rate`` (uniform traffic)."""
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        k, lm = self.k, self.message_length
+        lam_r = rate * self.regular_rate_factor
+        init = np.full(self.n, float(k + lm))
+        if rate == 0.0:
+            entries = init
+            iterations = 0
+        else:
+            result = self.solver.solve(lambda s: self._entrance_times(rate, s), init)
+            if result.status is not FixedPointStatus.CONVERGED:
+                return ModelResult(
+                    rate=rate,
+                    latency=math.inf,
+                    saturated=True,
+                    iterations=result.iterations,
+                )
+            entries = result.state
+            iterations = result.iterations
+
+        # Network latency: a message enters at its first non-matching
+        # dimension (weight (1/k)^i (1-1/k)); each entry dimension's
+        # class latency chains into the next dimension's class latency
+        # (entrance value, or trip-averaged value in averaged mode) —
+        # the same convention _entrance_times uses.
+        p_skip = 1.0 / k
+        class_lat = [0.0] * self.n
+        next_latency: float | None = None
+        for i in reversed(range(self.n)):
+            b = blocking_delay(
+                BlockingInputs(lam_r, 0.0, self._competing_service(float(entries[i])), 0.0),
+                lm,
+            )
+            if next_latency is None:
+                prof = regular_service_profile(k, b, lm)
+            else:
+                p_use = (k - 1.0) / k
+                tail = p_use * next_latency + (1.0 - p_use) * lm
+                prof = chained_service_profile(k, b, tail)
+            class_lat[i] = self._class_latency(prof)
+            next_latency = class_lat[i]
+        network = 0.0
+        total_weight = 0.0
+        for i in range(self.n):
+            weight = (p_skip**i) * (1.0 - p_skip)
+            network += weight * class_lat[i]
+            total_weight += weight
+        network /= total_weight
+
+        # V-bar uses the unchained single-dimension entrance time (the
+        # last dimension's entry, k(1+B)+Lm) — the convention the 2-D
+        # hot-spot model inherits from the paper's eqs 36-37.
+        v_bar = multiplexing_degree(lam_r, float(entries[-1]), self.num_vcs)
+        ws = mg1_waiting_time(rate / self.num_vcs, network, lm)
+        if not math.isfinite(ws):
+            return ModelResult(
+                rate=rate, latency=math.inf, saturated=True, iterations=iterations
+            )
+        latency = (network + ws) * v_bar
+        return ModelResult(
+            rate=rate,
+            latency=float(latency),
+            saturated=False,
+            iterations=iterations,
+            mean_multiplexing_x=v_bar,
+            mean_multiplexing_hot_ring=v_bar,
+            mean_multiplexing_nonhot_ring=v_bar,
+            max_utilization=lam_r * self._competing_service(float(np.max(entries))),
+        )
+
+    def saturation_rate(
+        self, lo: float = 0.0, hi: float = 0.1, tol: float = 1e-9
+    ) -> float:
+        """Smallest rate at which the model saturates (bisection)."""
+        if not self.evaluate(hi).saturated:
+            raise ValueError(f"upper bound {hi} does not saturate the model")
+        lo_rate, hi_rate = lo, hi
+        while hi_rate - lo_rate > tol * max(1.0, hi_rate):
+            mid = 0.5 * (lo_rate + hi_rate)
+            if self.evaluate(mid).saturated:
+                hi_rate = mid
+            else:
+                lo_rate = mid
+        return hi_rate
+
+    def sweep(self, rates, label: str = "uniform-model") -> SweepResult:
+        out = SweepResult(label=label)
+        for r in rates:
+            res = self.evaluate(float(r))
+            out.points.append(
+                SweepPoint(rate=float(r), latency=res.latency, saturated=res.saturated)
+            )
+        return out

@@ -1,0 +1,45 @@
+"""Experiment harness: definitions and runners for the paper's figures.
+
+The paper's evaluation (§4) consists of six latency-vs-load panels:
+Figure 1 (``Lm = 32`` flits) and Figure 2 (``Lm = 100`` flits), each at
+hot-spot fractions ``h ∈ {20%, 40%, 70%}``, on a 256-node (16×16)
+unidirectional torus.  Each panel plots the analytical model against the
+flit-level simulator.
+
+* :mod:`~repro.experiments.figures` — the panel definitions (network,
+  message length, h, load grid chosen to span zero → saturation exactly
+  like the paper's axes).
+* :mod:`~repro.experiments.runner` — runs model + simulator for a panel
+  and returns paired curves.
+* :mod:`~repro.experiments.report` — renders the series as the ASCII
+  tables the benchmarks print and computes the shape metrics recorded in
+  EXPERIMENTS.md.
+"""
+
+from repro.experiments.figures import (
+    ALL_PANELS,
+    FIGURE1,
+    FIGURE2,
+    PanelSpec,
+    get_panel,
+)
+from repro.experiments.runner import PanelResult, run_panel, run_panel_model_only
+from repro.experiments.report import (
+    format_panel_table,
+    shape_metrics,
+    ShapeMetrics,
+)
+
+__all__ = [
+    "ALL_PANELS",
+    "FIGURE1",
+    "FIGURE2",
+    "PanelSpec",
+    "get_panel",
+    "PanelResult",
+    "run_panel",
+    "run_panel_model_only",
+    "format_panel_table",
+    "shape_metrics",
+    "ShapeMetrics",
+]

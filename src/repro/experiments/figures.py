@@ -1,0 +1,150 @@
+"""Panel definitions for the paper's Figures 1 and 2.
+
+Paper §4: "network size N = 256 nodes; message lengths Lm = 32 and 100
+flits; fraction of hot-spot traffic h = 20%, 40% and 70%".  The paper
+does not print its load grids; the grids below span zero load to just
+past the model's saturation point with the same densities the plotted
+axes suggest (e.g. the h = 20%, Lm = 32 panel's axis runs 0 → 0.0006
+messages/cycle).
+
+Each :class:`PanelSpec` also carries the *paper-shape expectations* the
+benchmarks assert: the approximate saturation rate read off the paper's
+axis (who saturates first, by what factor) used as a coarse band rather
+than an exact number — our simulator is not the authors'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["PanelSpec", "FIGURE1", "FIGURE2", "ALL_PANELS", "get_panel"]
+
+
+@dataclass(frozen=True)
+class PanelSpec:
+    """One latency-vs-load panel of the paper's validation figures.
+
+    Attributes
+    ----------
+    figure, name:
+        Paper figure number and panel label (e.g. ``"fig1_h20"``).
+    k, message_length, hotspot_fraction, num_vcs:
+        Network and workload parameters (16×16 torus throughout).
+    rates:
+        Offered-load grid (messages/cycle/node).
+    paper_axis_max_rate:
+        Right edge of the paper's x-axis — the paper drew each panel up
+        to (roughly) the saturation region, so this doubles as the
+        paper's implied saturation locus.
+    paper_axis_max_latency:
+        Top of the paper's y-axis (cycles).
+    """
+
+    figure: int
+    name: str
+    k: int
+    message_length: int
+    hotspot_fraction: float
+    rates: Tuple[float, ...]
+    paper_axis_max_rate: float
+    paper_axis_max_latency: float
+    num_vcs: int = 2
+
+    @property
+    def description(self) -> str:
+        return (
+            f"Figure {self.figure}, h={self.hotspot_fraction:.0%}, "
+            f"Lm={self.message_length} flits, {self.k}x{self.k} torus"
+        )
+
+
+def _grid(max_rate: float, points: int = 8) -> Tuple[float, ...]:
+    """Load grid from 10% to ~105% of the panel's axis maximum.
+
+    The paper samples each curve at roughly this density; the final
+    point deliberately lands past the model's saturation knee so the
+    regenerated series exhibits the hockey-stick the figures show.
+    """
+    return tuple(np.round(np.linspace(0.1, 1.05, points) * max_rate, 10))
+
+
+FIGURE1: Dict[str, PanelSpec] = {
+    "fig1_h20": PanelSpec(
+        figure=1,
+        name="fig1_h20",
+        k=16,
+        message_length=32,
+        hotspot_fraction=0.20,
+        rates=_grid(0.0006),
+        paper_axis_max_rate=0.0006,
+        paper_axis_max_latency=2000.0,
+    ),
+    "fig1_h40": PanelSpec(
+        figure=1,
+        name="fig1_h40",
+        k=16,
+        message_length=32,
+        hotspot_fraction=0.40,
+        rates=_grid(0.0004),
+        paper_axis_max_rate=0.0004,
+        paper_axis_max_latency=2000.0,
+    ),
+    "fig1_h70": PanelSpec(
+        figure=1,
+        name="fig1_h70",
+        k=16,
+        message_length=32,
+        hotspot_fraction=0.70,
+        rates=_grid(0.0002),
+        paper_axis_max_rate=0.0002,
+        paper_axis_max_latency=1600.0,
+    ),
+}
+
+FIGURE2: Dict[str, PanelSpec] = {
+    "fig2_h20": PanelSpec(
+        figure=2,
+        name="fig2_h20",
+        k=16,
+        message_length=100,
+        hotspot_fraction=0.20,
+        rates=_grid(0.0002),
+        paper_axis_max_rate=0.0002,
+        paper_axis_max_latency=2000.0,
+    ),
+    "fig2_h40": PanelSpec(
+        figure=2,
+        name="fig2_h40",
+        k=16,
+        message_length=100,
+        hotspot_fraction=0.40,
+        rates=_grid(0.00012),
+        paper_axis_max_rate=0.00012,
+        paper_axis_max_latency=4000.0,
+    ),
+    "fig2_h70": PanelSpec(
+        figure=2,
+        name="fig2_h70",
+        k=16,
+        message_length=100,
+        hotspot_fraction=0.70,
+        rates=_grid(0.00007),
+        paper_axis_max_rate=0.00007,
+        paper_axis_max_latency=8000.0,
+    ),
+}
+
+ALL_PANELS: Dict[str, PanelSpec] = {**FIGURE1, **FIGURE2}
+
+
+def get_panel(name: str) -> PanelSpec:
+    """Look up a panel by name, with a helpful error."""
+    try:
+        return ALL_PANELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown panel {name!r}; available: {sorted(ALL_PANELS)}"
+        ) from None

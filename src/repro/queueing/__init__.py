@@ -1,0 +1,36 @@
+"""Queueing-theoretic building blocks of the analytical model.
+
+Three primitives, each mapping to a block of equations in the paper:
+
+* :mod:`~repro.queueing.mg1` — the M/G/1 mean waiting time with the
+  paper's ``(S - Lm)²`` service-time variance approximation (eq 28).
+* :mod:`~repro.queueing.blocking` — the per-channel blocking probability
+  and mean blocking delay for a channel shared by a *regular* and a
+  *hot-spot* traffic class (eqs 26, 27, 29, 30).
+* :mod:`~repro.queueing.vc_multiplexing` — Dally's Markov model of
+  virtual-channel occupancy and the average multiplexing degree ``V̄``
+  (eqs 33-35).
+"""
+
+from repro.queueing.mg1 import mg1_waiting_time, mg1_waiting_time_cs2
+from repro.queueing.blocking import (
+    BlockingInputs,
+    blocking_delay,
+    blocking_probability,
+    weighted_service_time,
+)
+from repro.queueing.vc_multiplexing import (
+    multiplexing_degree,
+    vc_occupancy_probabilities,
+)
+
+__all__ = [
+    "mg1_waiting_time",
+    "mg1_waiting_time_cs2",
+    "BlockingInputs",
+    "blocking_delay",
+    "blocking_probability",
+    "weighted_service_time",
+    "multiplexing_degree",
+    "vc_occupancy_probabilities",
+]

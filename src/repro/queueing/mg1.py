@@ -1,0 +1,83 @@
+"""M/G/1 waiting time with the paper's variance approximation (eq 28).
+
+The analytical model treats both network channels and the local injection
+queue as M/G/1 servers.  The Pollaczek–Khinchine mean waiting time is
+
+    W = rho * S * (1 + C_s^2) / (2 * (1 - rho)),    rho = lam * S,
+
+with ``C_s^2`` the squared coefficient of variation of the service time.
+Following Draper & Ghosh [6], the paper approximates the service-time
+variance by ``(S - Lm)^2`` — the service time is the fixed message length
+``Lm`` plus a fluctuating blocking component, and the fluctuation is
+credited with the whole deviation — giving eq (28):
+
+    W(lam, S) = lam * S^2 * (1 + (S - Lm)^2 / S^2) / (2 * (1 - lam * S)).
+
+Loads at or beyond ``rho = 1`` have no finite stationary waiting time;
+callers receive :data:`math.inf`, which the fixed-point solver interprets
+as saturation.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["mg1_waiting_time", "mg1_waiting_time_cs2"]
+
+
+def mg1_waiting_time(lam: float, service_time: float, message_length: float) -> float:
+    """Mean waiting time of eq (28).
+
+    Parameters
+    ----------
+    lam:
+        Arrival rate at the queue (messages/cycle).
+    service_time:
+        Mean service time ``S`` (cycles).
+    message_length:
+        Fixed message length ``Lm`` (flits == cycles at one flit/cycle);
+        used by the variance approximation ``sigma^2 = (S - Lm)^2``.
+
+    Returns
+    -------
+    float
+        Mean waiting time in cycles; ``math.inf`` when ``lam * S >= 1``
+        (the queue is saturated); ``0.0`` for ``lam <= 0``.
+    """
+    if lam < 0:
+        raise ValueError(f"arrival rate must be non-negative, got {lam}")
+    if service_time < 0:
+        raise ValueError(f"service time must be non-negative, got {service_time}")
+    if message_length < 0:
+        raise ValueError(f"message length must be non-negative, got {message_length}")
+    if lam == 0.0 or service_time == 0.0:
+        return 0.0
+    rho = lam * service_time
+    if rho >= 1.0:
+        return math.inf
+    variance = (service_time - message_length) ** 2
+    second_moment = service_time**2 + variance
+    # P-K formula written as lam * E[S^2] / (2 (1 - rho)); identical to the
+    # eq (28) form lam S^2 (1 + (S-Lm)^2/S^2) / (2 (1 - lam S)).
+    return lam * second_moment / (2.0 * (1.0 - rho))
+
+
+def mg1_waiting_time_cs2(lam: float, service_time: float, cs2: float) -> float:
+    """P-K mean waiting time with an explicit squared CV ``C_s^2``.
+
+    Provided for baselines and tests that want the exact M/M/1
+    (``cs2=1``) or M/D/1 (``cs2=0``) special cases rather than the
+    paper's variance approximation.
+    """
+    if lam < 0:
+        raise ValueError(f"arrival rate must be non-negative, got {lam}")
+    if service_time < 0:
+        raise ValueError(f"service time must be non-negative, got {service_time}")
+    if cs2 < 0:
+        raise ValueError(f"squared CV must be non-negative, got {cs2}")
+    if lam == 0.0 or service_time == 0.0:
+        return 0.0
+    rho = lam * service_time
+    if rho >= 1.0:
+        return math.inf
+    return rho * service_time * (1.0 + cs2) / (2.0 * (1.0 - rho))

@@ -1,0 +1,80 @@
+"""Dally's virtual-channel multiplexing model (eqs 33-35).
+
+``V`` virtual channels share one physical channel in a time-multiplexed
+fashion.  Dally [3] models the number of busy virtual channels at a
+physical channel as a birth-death Markov chain; with channel arrival rate
+``lam`` and mean per-message service time ``S`` the unnormalised
+stationary weights are (eq 33)
+
+    q_0 = 1
+    q_v = q_{v-1} * lam * S                    for 0 < v < V
+    q_V = q_{V-1} * lam * S / (1 - lam * S)
+
+(the last state absorbs the geometric tail of more messages wanting VCs
+than exist).  Normalising gives occupancy probabilities ``P_v`` (eq 34),
+and the *average multiplexing degree* — the factor by which latency is
+stretched because a flit only gets a fraction of the physical channel
+bandwidth — is (eq 35)
+
+    V̄ = sum(v^2 P_v) / sum(v P_v).
+
+``V̄`` is 1 at zero load (a lone message owns the channel) and approaches
+``V`` as the channel saturates.  When ``lam*S >= 1`` the chain has no
+stationary distribution; the model pins the channel at full occupancy,
+returning ``V̄ = V``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["vc_occupancy_probabilities", "multiplexing_degree"]
+
+
+def vc_occupancy_probabilities(lam: float, service_time: float, num_vcs: int) -> np.ndarray:
+    """Stationary probabilities ``P_0..P_V`` of the busy-VC count (eq 34)."""
+    if num_vcs < 1:
+        raise ValueError(f"number of virtual channels must be >= 1, got {num_vcs}")
+    if lam < 0:
+        raise ValueError(f"arrival rate must be non-negative, got {lam}")
+    if service_time < 0:
+        raise ValueError(f"service time must be non-negative, got {service_time}")
+    rho = lam * service_time
+    probs = np.zeros(num_vcs + 1)
+    if rho >= 1.0:
+        probs[num_vcs] = 1.0
+        return probs
+    q = np.empty(num_vcs + 1)
+    q[0] = 1.0
+    for v in range(1, num_vcs):
+        q[v] = q[v - 1] * rho
+    if num_vcs >= 1:
+        base = q[num_vcs - 1] if num_vcs > 1 else 1.0
+        q[num_vcs] = base * rho / (1.0 - rho)
+    total = q.sum()
+    return q / total
+
+
+def multiplexing_degree(lam: float, service_time: float, num_vcs: int) -> float:
+    """Average multiplexing degree ``V̄`` of eq (35).
+
+    Returns 1.0 at zero load (no multiplexing penalty) and ``num_vcs``
+    at/above saturation.
+    """
+    probs = vc_occupancy_probabilities(lam, service_time, num_vcs)
+    v = np.arange(num_vcs + 1, dtype=float)
+    denom = float(np.dot(v, probs))
+    if denom == 0.0:
+        # All mass at zero busy VCs: an arriving message multiplexes with
+        # nobody, so the degree is 1.
+        return 1.0
+    return float(np.dot(v * v, probs)) / denom
+
+
+def mean_busy_vcs(lam: float, service_time: float, num_vcs: int) -> float:
+    """Expected number of busy virtual channels, ``sum(v P_v)``."""
+    probs = vc_occupancy_probabilities(lam, service_time, num_vcs)
+    v = np.arange(num_vcs + 1, dtype=float)
+    return float(np.dot(v, probs))

@@ -1,0 +1,39 @@
+"""Flit-level wormhole simulator for k-ary n-cubes.
+
+The validation substrate of the paper: a discrete-event simulator
+"operating at the flit level" where "the network cycle time ... is
+defined as the transmission time of a single flit across a physical
+channel" (paper §4).  The simulator implements assumptions (i)-(vi) of
+the analytical model:
+
+* Poisson sources, Pfister–Norton hot-spot destinations;
+* fixed message length ``Lm`` flits;
+* infinite injection queues, instantaneous ejection;
+* deterministic dimension-order routing (x first, then y);
+* ``V >= 2`` virtual channels per physical channel with per-VC flit
+  buffers; a VC holds the channel for the whole message (wormhole) but
+  physical channel *bandwidth* is time-multiplexed flit-by-flit among
+  ready VCs (fair round-robin, Dally [3]);
+* a non-blocking crossbar: an input VC only ever waits for its
+  *outgoing* channel, never for the switch.
+
+Deadlock freedom uses the Dally–Seitz dateline scheme: virtual channels
+are split into two classes per physical channel and a message moves to
+class 1 when it crosses a ring's wrap-around channel
+(:mod:`repro.topology.routing`).
+
+Public front-end: :class:`~repro.simulator.sim.Simulation` with
+:class:`~repro.simulator.config.SimulationConfig`.
+"""
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.sim import Simulation, SimulationResult
+from repro.simulator.stats import BatchMeans, LatencyStats
+
+__all__ = [
+    "SimulationConfig",
+    "Simulation",
+    "SimulationResult",
+    "BatchMeans",
+    "LatencyStats",
+]

@@ -1,0 +1,181 @@
+"""Per-channel virtual-channel bookkeeping.
+
+Each physical channel owns ``V`` virtual channels partitioned into
+*classes*.  Deterministic runs use the two Dally–Seitz dateline classes
+(class 0 gets the first ``ceil(V/2)``); adaptive runs use three classes —
+one escape VC per dateline class plus an adaptive pool (Duato's scheme:
+the escape sub-network stays deadlock-free, the adaptive VCs are
+unrestricted).
+
+The pool tracks which message holds each VC, queues pending allocation
+requests per class (FCFS, as the analytical model's FIFO queueing
+assumes), supports cancellation of *impatient* requests (adaptive
+headers re-evaluate their choice each cycle rather than committing to a
+queue), and arbitrates the physical channel's one-flit-per-cycle
+bandwidth among ready VCs with a round-robin pointer (Dally's fair
+time-multiplexing [3]).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "VirtualChannelPool",
+    "vc_class_partition",
+    "adaptive_partition",
+]
+
+
+def vc_class_partition(num_vcs: int) -> Tuple[range, range]:
+    """VC index ranges of dateline class 0 and class 1 (deterministic).
+
+    Class 0 receives ``ceil(V/2)``.  Both classes are always non-empty
+    for ``V >= 2``, which assumption (vi) guarantees.
+    """
+    if num_vcs < 2:
+        raise ValueError(f"need >= 2 virtual channels, got {num_vcs}")
+    split = (num_vcs + 1) // 2
+    return range(0, split), range(split, num_vcs)
+
+
+def adaptive_partition(num_vcs: int) -> Tuple[range, range, range]:
+    """Escape-0, escape-1, adaptive VC ranges (Duato-style).
+
+    One escape VC per dateline class keeps the escape sub-network
+    deadlock-free; the remaining ``V - 2`` VCs form the adaptive pool,
+    so adaptive routing needs ``V >= 3``.
+    """
+    if num_vcs < 3:
+        raise ValueError(
+            f"adaptive routing needs >= 3 virtual channels "
+            f"(2 escape + >=1 adaptive), got {num_vcs}"
+        )
+    return range(0, 1), range(1, 2), range(2, num_vcs)
+
+
+class VirtualChannelPool:
+    """State of one physical channel's virtual channels.
+
+    ``holders[v]`` is the id of the message holding VC ``v`` (-1 when
+    free); ``holder_hops[v]`` is the index of the route hop the message
+    holds this VC for.
+
+    Parameters
+    ----------
+    num_vcs:
+        Virtual channels on this physical channel.
+    partition:
+        Per-class VC index sequences; defaults to the two dateline
+        classes.  Classes must be disjoint and cover ``range(num_vcs)``.
+    """
+
+    __slots__ = (
+        "num_vcs",
+        "num_classes",
+        "holders",
+        "holder_hops",
+        "free_by_class",
+        "pending",
+        "rr",
+        "busy_count",
+        "_class_of",
+    )
+
+    def __init__(
+        self,
+        num_vcs: int,
+        partition: Optional[Sequence[Sequence[int]]] = None,
+    ) -> None:
+        if partition is None:
+            partition = vc_class_partition(num_vcs)
+        covered: List[int] = []
+        self._class_of = [-1] * num_vcs
+        for cls, vcs in enumerate(partition):
+            for v in vcs:
+                if not 0 <= v < num_vcs:
+                    raise ValueError(f"VC index {v} out of range")
+                if self._class_of[v] != -1:
+                    raise ValueError(f"VC {v} assigned to two classes")
+                self._class_of[v] = cls
+                covered.append(v)
+        if len(covered) != num_vcs:
+            raise ValueError("partition must cover every virtual channel")
+        self.num_vcs = num_vcs
+        self.num_classes = len(partition)
+        self.holders: List[int] = [-1] * num_vcs
+        self.holder_hops: List[int] = [-1] * num_vcs
+        self.free_by_class: List[List[int]] = [
+            list(reversed(list(vcs))) for vcs in partition
+        ]
+        self.pending: List[Deque[Tuple[int, int, bool]]] = [
+            deque() for _ in partition
+        ]
+        self.rr = 0
+        self.busy_count = 0
+
+    # ------------------------------------------------------------------
+    def vc_class(self, vc: int) -> int:
+        return self._class_of[vc]
+
+    def free_count(self, vc_class: int) -> int:
+        return len(self.free_by_class[vc_class])
+
+    def request(
+        self, msg_id: int, hop: int, vc_class: int, impatient: bool = False
+    ) -> None:
+        """Queue an FCFS allocation request for a VC of ``vc_class``.
+
+        ``impatient`` requests are cancelled (returned by
+        :meth:`drain_impatient`) instead of waiting when no VC is free in
+        the same allocation phase.
+        """
+        self.pending[vc_class].append((msg_id, hop, impatient))
+
+    def has_pending(self) -> bool:
+        return any(self.pending)
+
+    def grant_one(self, vc_class: int) -> Optional[Tuple[int, int, int]]:
+        """Grant the oldest pending request of a class if a VC is free.
+
+        Returns ``(msg_id, hop, vc)`` or ``None``.
+        """
+        if not self.pending[vc_class] or not self.free_by_class[vc_class]:
+            return None
+        msg_id, hop, _ = self.pending[vc_class].popleft()
+        vc = self.free_by_class[vc_class].pop()
+        self.holders[vc] = msg_id
+        self.holder_hops[vc] = hop
+        self.busy_count += 1
+        return msg_id, hop, vc
+
+    def drain_impatient(self, vc_class: int) -> List[Tuple[int, int]]:
+        """Cancel the remaining impatient requests of a class.
+
+        Returns the cancelled ``(msg_id, hop)`` pairs (patient requests
+        stay queued in order).
+        """
+        queue = self.pending[vc_class]
+        kept: Deque[Tuple[int, int, bool]] = deque()
+        cancelled: List[Tuple[int, int]] = []
+        while queue:
+            msg_id, hop, impatient = queue.popleft()
+            if impatient:
+                cancelled.append((msg_id, hop))
+            else:
+                kept.append((msg_id, hop, impatient))
+        queue.extend(kept)
+        return cancelled
+
+    def release(self, vc: int) -> None:
+        """Return a VC to its class's free list."""
+        if self.holders[vc] == -1:
+            raise RuntimeError(f"double release of virtual channel {vc}")
+        self.holders[vc] = -1
+        self.holder_hops[vc] = -1
+        self.free_by_class[self.vc_class(vc)].append(vc)
+        self.busy_count -= 1
+
+    def busy_vcs(self) -> List[int]:
+        return [v for v in range(self.num_vcs) if self.holders[v] != -1]

@@ -1,0 +1,370 @@
+"""The cycle engine: wormhole switching, VC allocation, link arbitration.
+
+One engine cycle has four phases:
+
+1. **Arrivals** — Poisson arrivals due this cycle are appended to their
+   source's (infinite) injection queue; the queue head requests a VC of
+   its first channel.
+2. **VC allocation** — each channel grants free VCs to pending header
+   requests, FCFS within each dateline class.
+3. **Link arbitration** — every channel with busy VCs picks at most one
+   *ready* VC round-robin (a VC is ready when a flit of its message
+   waits upstream and the downstream VC buffer has a free slot at the
+   start of the cycle) and schedules one flit transfer.  One flit per
+   physical channel per cycle — the paper's "network cycle time is the
+   transmission time of a single flit across a physical channel".
+4. **Apply** — scheduled flits move; header arrivals enqueue the next
+   hop's VC request, tail departures release upstream VCs, delivered
+   messages are retired into the statistics.
+
+Credits are returned with one-cycle latency (phase 3 readiness uses
+start-of-cycle occupancies), so full-rate streaming needs
+``buffer_depth >= 2``; see :class:`~repro.simulator.config.SimulationConfig`.
+
+The engine is deliberately free of topology knowledge: it consumes
+pre-computed routes (:class:`~repro.simulator.router.RouteTable`) or,
+in adaptive mode, a *next-hop chooser* callback that extends routes hop
+by hop against live virtual-channel availability (impatient adaptive
+requests re-evaluate every cycle; escape requests queue FCFS on the
+deadlock-free dateline sub-network).  That separation is what makes it
+reusable for every traffic pattern and routing mode in the examples.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.simulator.buffers import VirtualChannelPool, adaptive_partition
+from repro.simulator.flit import Message
+
+# A chooser maps (message, next hop index) to (channel_id, vc_class,
+# impatient) or None when the message's header already sits at its
+# destination's router.  Impatient requests are re-evaluated every cycle
+# instead of committing to a VC queue.
+NextHopChooser = Callable[[Message, int], Optional[Tuple[int, int, bool]]]
+
+__all__ = ["CycleEngine", "EngineCounters"]
+
+# A network with in-flight messages must make progress; a long stretch of
+# idle cycles with messages present indicates an engine bug (the dateline
+# scheme rules out true deadlock).
+_DEADLOCK_WATCHDOG_CYCLES = 20_000
+
+
+class EngineCounters:
+    """Aggregate engine activity counters."""
+
+    __slots__ = ("generated", "completed", "flit_moves", "cycles_run")
+
+    def __init__(self) -> None:
+        self.generated = 0
+        self.completed = 0
+        self.flit_moves = 0
+        self.cycles_run = 0
+
+    @property
+    def backlog(self) -> int:
+        """Messages generated but not yet delivered."""
+        return self.generated - self.completed
+
+
+class CycleEngine:
+    """Flit-level wormhole engine over pre-routed messages.
+
+    Parameters
+    ----------
+    num_channels:
+        Number of physical channels (dense ids ``0..num_channels-1``).
+    num_vcs:
+        Virtual channels per physical channel.
+    buffer_depth:
+        Flit capacity of each VC buffer.
+    on_delivery:
+        Callback ``(message, completion_cycle)`` invoked when a tail
+        flit reaches its destination.
+    """
+
+    def __init__(
+        self,
+        num_channels: int,
+        num_vcs: int,
+        buffer_depth: int,
+        on_delivery: Optional[Callable[[Message, int], None]] = None,
+        next_hop_chooser: Optional["NextHopChooser"] = None,
+        adaptive: bool = False,
+    ) -> None:
+        if num_channels < 1:
+            raise ValueError(f"need >= 1 channel, got {num_channels}")
+        if buffer_depth < 1:
+            raise ValueError(f"buffer depth must be >= 1, got {buffer_depth}")
+        if adaptive and next_hop_chooser is None:
+            raise ValueError("adaptive mode requires a next-hop chooser")
+        self.num_channels = num_channels
+        self.num_vcs = num_vcs
+        self.buffer_depth = buffer_depth
+        self.on_delivery = on_delivery
+        self.next_hop_chooser = next_hop_chooser
+        self.adaptive = adaptive
+        partition = adaptive_partition(num_vcs) if adaptive else None
+        self.pools: List[VirtualChannelPool] = [
+            VirtualChannelPool(num_vcs, partition) for _ in range(num_channels)
+        ]
+        self.messages: Dict[int, Message] = {}
+        self.cycle = 0
+        self.counters = EngineCounters()
+        self.channel_flit_counts = np.zeros(num_channels, dtype=np.int64)
+        # Injection: per-source FIFO queues keyed by source rank.
+        self._source_queues: Dict[int, Deque[Message]] = {}
+        self._head_requested: Dict[int, bool] = {}
+        # Arrival stream: heap of (time, tiebreak, message-factory args).
+        self._arrival_heap: List[Tuple[float, int, Message]] = []
+        self._arrival_seq = 0
+        self._active_channels: set[int] = set()
+        self._pending_channels: set[int] = set()
+        self._needs_reroute: List[Tuple[int, int]] = []
+        self._last_progress_cycle = 0
+
+    # ------------------------------------------------------------------
+    # Arrival / injection interface
+    # ------------------------------------------------------------------
+    def schedule_message(self, arrival_time: float, message: Message) -> None:
+        """Queue a message to arrive at ``floor(arrival_time)``."""
+        if arrival_time < self.cycle:
+            raise ValueError(
+                f"arrival time {arrival_time} is in the engine's past "
+                f"(cycle {self.cycle})"
+            )
+        heapq.heappush(
+            self._arrival_heap, (arrival_time, self._arrival_seq, message)
+        )
+        self._arrival_seq += 1
+
+    def next_arrival_cycle(self) -> Optional[int]:
+        if not self._arrival_heap:
+            return None
+        return int(self._arrival_heap[0][0])
+
+    def _admit_arrivals(self) -> None:
+        limit = self.cycle + 1
+        heap = self._arrival_heap
+        while heap and heap[0][0] < limit:
+            _, _, msg = heapq.heappop(heap)
+            self.counters.generated += 1
+            self.messages[msg.msg_id] = msg
+            queue = self._source_queues.setdefault(msg.src, deque())
+            queue.append(msg)
+            if not self._head_requested.get(msg.src, False):
+                self._request_head(msg.src)
+
+    def _request_head(self, src: int) -> None:
+        queue = self._source_queues.get(src)
+        if not queue:
+            return
+        head = queue[0]
+        ch = head.route_channels[0]
+        # Adaptive first hops were chosen against live VC availability;
+        # they re-evaluate (impatient) rather than committing to a queue.
+        impatient = head.dynamic and head.route_classes[0] >= 2
+        self.pools[ch].request(head.msg_id, 0, head.route_classes[0], impatient)
+        self._pending_channels.add(ch)
+        self._head_requested[src] = True
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _allocate_vcs(self) -> None:
+        done = []
+        # Injection grants can enqueue the next head's request (possibly
+        # on a new channel), so iterate over a snapshot; fresh requests
+        # are served next cycle.
+        for ch in list(self._pending_channels):
+            pool = self.pools[ch]
+            for cls in range(pool.num_classes):
+                while True:
+                    grant = pool.grant_one(cls)
+                    if grant is None:
+                        break
+                    msg_id, hop, vc = grant
+                    msg = self.messages[msg_id]
+                    msg.vcs[hop] = vc
+                    msg.alloc_hops = hop + 1
+                    self._active_channels.add(ch)
+                    if hop == 0:
+                        self._on_injection_start(msg)
+                # Cancel unserved impatient requests; their messages
+                # re-evaluate against fresh VC availability next cycle.
+                self._needs_reroute.extend(pool.drain_impatient(cls))
+            if not pool.has_pending():
+                done.append(ch)
+        for ch in done:
+            self._pending_channels.discard(ch)
+
+    def _on_injection_start(self, msg: Message) -> None:
+        src = msg.src
+        queue = self._source_queues[src]
+        if not queue or queue[0].msg_id != msg.msg_id:
+            raise RuntimeError("injection grant to a non-head message")
+        queue.popleft()
+        msg.injected_at = self.cycle
+        self._head_requested[src] = False
+        if queue:
+            self._request_head(src)
+        else:
+            del self._source_queues[src]
+
+    def _reroute_cancelled(self) -> None:
+        """Re-issue next-hop requests for messages whose impatient
+        (adaptive) request was cancelled last cycle."""
+        pending, self._needs_reroute = self._needs_reroute, []
+        for msg_id, hop in pending:
+            msg = self.messages.get(msg_id)
+            if msg is None:
+                raise RuntimeError("cancelled request for a retired message")
+            choice = self.next_hop_chooser(msg, hop)
+            if choice is None:
+                raise RuntimeError("reroute reached destination unexpectedly")
+            ch, cls, impatient = choice
+            msg.route_channels[hop] = ch
+            msg.route_classes[hop] = cls
+            self.pools[ch].request(msg.msg_id, hop, cls, impatient)
+            self._pending_channels.add(ch)
+
+    def _scan_moves(self) -> List[Tuple[Message, int]]:
+        moves: List[Tuple[Message, int]] = []
+        depth = self.buffer_depth
+        messages = self.messages
+        for ch in self._active_channels:
+            pool = self.pools[ch]
+            if pool.busy_count == 0:
+                continue
+            holders = pool.holders
+            nv = pool.num_vcs
+            start = pool.rr
+            for i in range(nv):
+                v = start + i
+                if v >= nv:
+                    v -= nv
+                mid = holders[v]
+                if mid < 0:
+                    continue
+                msg = messages[mid]
+                hop = pool.holder_hops[v]
+                crossed = msg.crossed
+                sent = crossed[hop]
+                if hop == 0:
+                    if msg.length - sent <= 0:
+                        continue
+                else:
+                    if crossed[hop - 1] - sent <= 0:
+                        continue
+                if hop != msg.final_hop:
+                    drained = crossed[hop + 1] if hop + 1 < len(crossed) else 0
+                    if sent - drained >= depth:
+                        continue
+                moves.append((msg, hop))
+                pool.rr = v + 1 if v + 1 < nv else 0
+                break
+        return moves
+
+    def _apply_moves(self, moves: List[Tuple[Message, int]]) -> None:
+        for msg, hop in moves:
+            msg.crossed[hop] += 1
+            ch = msg.route_channels[hop]
+            self.channel_flit_counts[ch] += 1
+            self.counters.flit_moves += 1
+            c = msg.crossed[hop]
+            if c == 1:
+                if msg.dynamic:
+                    # Header reached the next router: discover the next
+                    # hop (or the destination) through the chooser.
+                    choice = self.next_hop_chooser(msg, hop + 1)
+                    if choice is None:
+                        msg.final_hop = hop
+                    else:
+                        nxt_ch, cls, impatient = choice
+                        msg.extend_route(nxt_ch, cls)
+                        self.pools[nxt_ch].request(
+                            msg.msg_id, hop + 1, cls, impatient
+                        )
+                        self._pending_channels.add(nxt_ch)
+                elif hop + 1 < msg.num_hops:
+                    # Header reached the next router: request the next VC.
+                    nxt_ch = msg.route_channels[hop + 1]
+                    self.pools[nxt_ch].request(
+                        msg.msg_id, hop + 1, msg.route_classes[hop + 1]
+                    )
+                    self._pending_channels.add(nxt_ch)
+            if c == msg.length:
+                # Tail crossed this channel: it has left the upstream
+                # buffer, so the previous hop's VC drains free.
+                if hop >= 1:
+                    self._release_hop(msg, hop - 1)
+                if hop == msg.final_hop:
+                    self._release_hop(msg, hop)
+                    self._complete(msg)
+
+    def _release_hop(self, msg: Message, hop: int) -> None:
+        vc = msg.vcs[hop]
+        if vc < 0:
+            raise RuntimeError(
+                f"message {msg.msg_id} releasing unallocated hop {hop}"
+            )
+        ch = msg.route_channels[hop]
+        pool = self.pools[ch]
+        pool.release(vc)
+        msg.vcs[hop] = -1
+        if pool.busy_count == 0:
+            self._active_channels.discard(ch)
+
+    def _complete(self, msg: Message) -> None:
+        self.counters.completed += 1
+        del self.messages[msg.msg_id]
+        if self.on_delivery is not None:
+            self.on_delivery(msg, self.cycle)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """Run one cycle; returns the number of flits moved."""
+        self._admit_arrivals()
+        if self._needs_reroute:
+            self._reroute_cancelled()
+        if self._pending_channels:
+            self._allocate_vcs()
+        moves = self._scan_moves() if self._active_channels else []
+        if moves:
+            self._apply_moves(moves)
+            self._last_progress_cycle = self.cycle
+        elif self.messages:
+            if self.cycle - self._last_progress_cycle > _DEADLOCK_WATCHDOG_CYCLES:
+                raise RuntimeError(
+                    f"no flit progress for {_DEADLOCK_WATCHDOG_CYCLES} cycles "
+                    f"with {len(self.messages)} messages in flight — engine bug"
+                )
+        else:
+            self._last_progress_cycle = self.cycle
+        self.cycle += 1
+        self.counters.cycles_run += 1
+        return len(moves)
+
+    def idle(self) -> bool:
+        """True when nothing is in flight, queued or pending."""
+        return not self.messages and not self._arrival_heap
+
+    def fast_forward_if_idle(self) -> None:
+        """Jump the clock to the next arrival when the network is empty.
+
+        Only the clock moves; no cycles are "run", so counters and
+        utilisation denominators must use :attr:`EngineCounters.cycles_run`.
+        """
+        if self.messages or self._source_queues:
+            return
+        nxt = self.next_arrival_cycle()
+        if nxt is not None and nxt > self.cycle:
+            self.cycle = nxt
+            self._last_progress_cycle = self.cycle

@@ -1,0 +1,69 @@
+"""Graph views and structural metrics of k-ary n-cubes.
+
+Utility layer over :class:`~repro.topology.kary_ncube.KAryNCube` used by
+tests (cross-checking the closed-form hop formulas of the paper against
+explicit shortest paths) and by examples that want to visualise or
+inspect the network with :mod:`networkx`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.topology.kary_ncube import KAryNCube
+
+
+def to_networkx(network: KAryNCube) -> nx.DiGraph:
+    """Directed graph with one edge per physical channel.
+
+    Edge attributes: ``dim`` (dimension index) and ``direction``.
+    """
+    g = nx.DiGraph(k=network.k, n=network.n, bidirectional=network.bidirectional)
+    g.add_nodes_from(network.nodes())
+    for ch in network.channels():
+        g.add_edge(
+            ch.src,
+            network.channel_dst(ch),
+            dim=ch.dim,
+            direction=ch.direction,
+        )
+    return g
+
+
+def diameter(network: KAryNCube) -> int:
+    """Graph diameter computed exactly from the edge structure."""
+    g = to_networkx(network)
+    return nx.diameter(g)
+
+
+def average_distance(network: KAryNCube) -> float:
+    """Mean shortest-path distance over ordered pairs of distinct nodes.
+
+    For the unidirectional network with uniform traffic this equals the
+    exact mean message distance ``n(k-1)/2 * N/(N-1)``-adjusted; the
+    paper's ``d = n*(k-1)/2`` (eqs 1-2) includes the possibility of a
+    zero displacement per dimension but excludes the all-zero
+    displacement only through the uniform-over-(N-1) destination choice.
+    """
+    g = to_networkx(network)
+    return nx.average_shortest_path_length(g)
+
+
+def bisection_channel_count(network: KAryNCube) -> int:
+    """Directed channels crossing the bisection of the first dimension.
+
+    The network is split by the first coordinate into halves
+    ``v_0 < k/2`` and ``v_0 >= k/2`` (k even).  For a unidirectional
+    k-ary n-cube the count is ``2 * k**(n-1)`` (one crossing at the cut
+    and one at the wrap-around per ring of dimension 0), doubled again
+    for bidirectional networks.
+    """
+    if network.k % 2:
+        raise ValueError("bisection defined for even radix only")
+    half = network.k // 2
+    g = to_networkx(network)
+    count = 0
+    for u, v in g.edges():
+        if (u[0] < half) != (v[0] < half):
+            count += 1
+    return count

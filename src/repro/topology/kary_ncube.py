@@ -1,0 +1,279 @@
+"""The k-ary n-cube interconnection network.
+
+A k-ary n-cube has ``N = k**n`` nodes arranged in ``n`` dimensions with
+``k`` nodes per dimension (paper, §2).  Each node consists of a processing
+element (PE) and a router.  In the *unidirectional* variant considered by
+the paper's analysis, every node has one outgoing channel per dimension
+(towards the next node modulo ``k``) plus an injection and an ejection
+channel connecting the router to its PE.
+
+Addressing follows the paper: a node is identified by its coordinate
+vector ``(v_0, ..., v_{n-1})`` with ``0 <= v_i < k``.  Nodes are also given
+a *rank* — the integer obtained by mixed-radix encoding of the coordinate
+vector — which is what the simulator uses as a compact index.
+
+The paper's hot-spot geometry is phrased in terms of *rings*: the network
+is viewed as ``k`` rings along each dimension.  For the 2-D case the
+columns are "y-rings" and the rows are "x-rings"; the y-ring containing
+the hot-spot node is the *hot y-ring*.  The distance conventions of §3
+("a channel is j hops away ...") are provided by
+:meth:`KAryNCube.hops_to` and :meth:`KAryNCube.channel_distance`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+Node = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A directed physical channel of the network.
+
+    Attributes
+    ----------
+    src:
+        Coordinate vector of the node owning the (outgoing) channel.
+    dim:
+        Dimension the channel travels along (0-based; the paper's 2-D
+        analysis calls dimension 0 "x" and dimension 1 "y").
+    direction:
+        ``+1`` for the positive (the only one in unidirectional networks)
+        and ``-1`` for the negative direction of bidirectional networks.
+    """
+
+    src: Node
+    dim: int
+    direction: int = +1
+
+
+class KAryNCube:
+    """A k-ary n-cube (torus) topology.
+
+    Parameters
+    ----------
+    k:
+        Radix — number of nodes per dimension (``k >= 2``).
+    n:
+        Number of dimensions (``n >= 1``).
+    bidirectional:
+        If ``True`` every dimension has channels in both directions.  The
+        paper's analysis covers the unidirectional case (the default) and
+        notes it "can be easily extended" to the bidirectional one.
+
+    Examples
+    --------
+    >>> net = KAryNCube(k=4, n=2)
+    >>> net.num_nodes
+    16
+    >>> net.neighbor((3, 0), dim=0)
+    (0, 0)
+    >>> net.hops_to((1, 1), (0, 1), dim=0)
+    3
+    """
+
+    def __init__(self, k: int, n: int, *, bidirectional: bool = False) -> None:
+        if k < 2:
+            raise ValueError(f"radix k must be >= 2, got {k}")
+        if n < 1:
+            raise ValueError(f"dimension count n must be >= 1, got {n}")
+        self.k = int(k)
+        self.n = int(n)
+        self.bidirectional = bool(bidirectional)
+
+    # ------------------------------------------------------------------
+    # Basic size properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Total node count ``N = k**n``."""
+        return self.k**self.n
+
+    @property
+    def num_channels(self) -> int:
+        """Number of directed network channels (excluding injection/ejection)."""
+        per_dir = self.num_nodes * self.n
+        return per_dir * (2 if self.bidirectional else 1)
+
+    @property
+    def diameter(self) -> int:
+        """Longest shortest-path distance between any node pair."""
+        per_dim = self.k // 2 if self.bidirectional else self.k - 1
+        return per_dim * self.n
+
+    @property
+    def mean_hops_per_dimension(self) -> float:
+        """Average hops a uniform message makes in one dimension (eq 1).
+
+        For the unidirectional ring the per-dimension displacement is
+        uniform on ``{0, 1, ..., k-1}``, hence the mean is
+        ``k̄ = (k-1)/2``.  For the bidirectional ring minimal routing
+        halves the distances: ``k/4`` for even k (approximately).
+        """
+        k = self.k
+        if not self.bidirectional:
+            return sum(i for i in range(1, k)) / k
+        # Minimal bidirectional distances: i -> min(i, k-i).
+        return sum(min(i, k - i) for i in range(1, k)) / k
+
+    @property
+    def mean_message_hops(self) -> float:
+        """Average channels crossed by a uniform (regular) message (eq 2)."""
+        return self.n * self.mean_hops_per_dimension
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all coordinate vectors in rank order."""
+        return itertools.product(range(self.k), repeat=self.n)
+
+    def rank(self, node: Node) -> int:
+        """Mixed-radix encoding of a coordinate vector to ``range(N)``.
+
+        The first coordinate is the most significant digit, so ranks
+        enumerate nodes in the same order as :meth:`nodes`.
+        """
+        self._check_node(node)
+        r = 0
+        for c in node:
+            r = r * self.k + c
+        return r
+
+    def unrank(self, rank: int) -> Node:
+        """Inverse of :meth:`rank`."""
+        if not 0 <= rank < self.num_nodes:
+            raise ValueError(f"rank {rank} out of range [0, {self.num_nodes})")
+        coords = []
+        for _ in range(self.n):
+            coords.append(rank % self.k)
+            rank //= self.k
+        return tuple(reversed(coords))
+
+    def _check_node(self, node: Sequence[int]) -> None:
+        if len(node) != self.n:
+            raise ValueError(
+                f"node {node!r} has {len(node)} coordinates, expected {self.n}"
+            )
+        for c in node:
+            if not 0 <= c < self.k:
+                raise ValueError(f"coordinate {c} out of range [0, {self.k})")
+
+    # ------------------------------------------------------------------
+    # Neighbourhood and channels
+    # ------------------------------------------------------------------
+    def neighbor(self, node: Node, dim: int, direction: int = +1) -> Node:
+        """The node reached from ``node`` through its ``dim`` channel."""
+        self._check_node(node)
+        self._check_dim(dim)
+        if direction == -1 and not self.bidirectional:
+            raise ValueError("negative direction on a unidirectional network")
+        if direction not in (+1, -1):
+            raise ValueError(f"direction must be +1 or -1, got {direction}")
+        coords = list(node)
+        coords[dim] = (coords[dim] + direction) % self.k
+        return tuple(coords)
+
+    def channel_dst(self, channel: Channel) -> Node:
+        """Downstream node of a directed channel."""
+        return self.neighbor(channel.src, channel.dim, channel.direction)
+
+    def channels(self) -> Iterator[Channel]:
+        """Iterate over every directed network channel."""
+        dirs = (+1, -1) if self.bidirectional else (+1,)
+        for node in self.nodes():
+            for dim in range(self.n):
+                for d in dirs:
+                    yield Channel(src=node, dim=dim, direction=d)
+
+    def _check_dim(self, dim: int) -> None:
+        if not 0 <= dim < self.n:
+            raise ValueError(f"dimension {dim} out of range [0, {self.n})")
+
+    # ------------------------------------------------------------------
+    # Distances (paper §3 conventions)
+    # ------------------------------------------------------------------
+    def hops_to(self, src: Node, dst: Node, dim: int) -> int:
+        """Unidirectional hop count from ``src`` to ``dst`` along ``dim``.
+
+        This is the paper's "j hops away" in a given dimension:
+        ``(dst_dim - src_dim) mod k``.
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        self._check_dim(dim)
+        return (dst[dim] - src[dim]) % self.k
+
+    def distance(self, src: Node, dst: Node) -> int:
+        """Total hop count of the deterministic (dimension-order) route."""
+        return sum(self.hops_to(src, dst, d) for d in range(self.n))
+
+    def channel_distance(self, channel: Channel, hot: Node) -> int:
+        """Paper §3 distance of a channel to the hot-spot geometry.
+
+        For a channel along the *last* dimension (the paper's y) this is
+        the number of hops from the channel's source node to the hot-spot
+        node along that dimension, **except** that the outgoing channel of
+        the hot-spot node itself is defined to be ``k`` hops away.  For a
+        channel along any earlier dimension the same convention applies to
+        the distance to the *hot ring* (the hyperplane of nodes sharing
+        the hot node's coordinate in that dimension).
+        """
+        self._check_node(hot)
+        d = self.hops_to(channel.src, hot, channel.dim)
+        return d if d != 0 else self.k
+
+    def ring_of(self, node: Node, dim: int) -> Tuple[int, ...]:
+        """Identifier of the ring through ``node`` along dimension ``dim``.
+
+        A ring along dimension ``dim`` is the set of k nodes agreeing on
+        every other coordinate; its identifier is that coordinate tuple.
+        """
+        self._check_node(node)
+        self._check_dim(dim)
+        return tuple(c for i, c in enumerate(node) if i != dim)
+
+    def ring_nodes(self, ring_id: Tuple[int, ...], dim: int) -> Iterator[Node]:
+        """Iterate the k nodes of the ring ``ring_id`` along ``dim``."""
+        self._check_dim(dim)
+        if len(ring_id) != self.n - 1:
+            raise ValueError(
+                f"ring id {ring_id!r} must have {self.n - 1} coordinates"
+            )
+        for v in range(self.k):
+            coords = list(ring_id)
+            coords.insert(dim, v)
+            yield tuple(coords)
+
+    def is_in_hot_ring(self, node: Node, hot: Node, dim: int) -> bool:
+        """Whether ``node`` lies on the hot ring along dimension ``dim``.
+
+        For the 2-D analysis the "hot y-ring" is the set of nodes sharing
+        the hot node's x coordinate; generally, the hot ring along the
+        *last* dimension consists of nodes matching the hot node in all
+        dimensions except the last.
+        """
+        self._check_node(node)
+        self._check_node(hot)
+        self._check_dim(dim)
+        return all(node[i] == hot[i] for i in range(self.n) if i != dim)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        tag = "bi" if self.bidirectional else "uni"
+        return f"KAryNCube(k={self.k}, n={self.n}, {tag}directional)"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KAryNCube):
+            return NotImplemented
+        return (self.k, self.n, self.bidirectional) == (
+            other.k,
+            other.n,
+            other.bidirectional,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.k, self.n, self.bidirectional))

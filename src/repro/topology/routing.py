@@ -1,0 +1,151 @@
+"""Deterministic dimension-order (e-cube) routing with dateline VC classes.
+
+The paper assumes deterministic routing in which "regular and hot-spot
+messages cross dimensions in a predefined order (without loss of
+generality, messages cross dimension x first then y)" (assumption v) and
+``V >= 2`` virtual channels per physical channel "to avoid message
+deadlock in the torus due to the wrap-around channels" (assumption vi,
+citing Dally & Seitz [5]).
+
+This module computes full routes and assigns each hop the *deadlock
+class* used by the simulator's virtual-channel allocator: the classic
+dateline scheme, where a message travelling inside a ring uses class 0
+until it crosses the wrap-around channel (the "dateline" between node
+``k-1`` and node ``0``) and class 1 afterwards.  Because class numbers
+only ever increase along a route within a ring and the rings of distinct
+dimensions are visited in a fixed order, the channel-dependency graph is
+acyclic and wormhole routing is deadlock-free (Dally & Seitz 1987).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.topology.kary_ncube import Channel, KAryNCube, Node
+
+
+@dataclass(frozen=True)
+class RouteHop:
+    """One channel traversal of a route.
+
+    Attributes
+    ----------
+    channel:
+        The physical channel crossed.
+    vc_class:
+        Dateline deadlock class (0 before crossing the ring's wrap-around
+        channel, 1 from the wrap-around hop onwards).
+    """
+
+    channel: Channel
+    vc_class: int
+
+
+@dataclass(frozen=True)
+class Route:
+    """A complete deterministic route from ``src`` to ``dst``."""
+
+    src: Node
+    dst: Node
+    hops: Tuple[RouteHop, ...]
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.hops)
+
+    def channels(self) -> Tuple[Channel, ...]:
+        return tuple(h.channel for h in self.hops)
+
+
+def dateline_vc_class(position: int, k: int) -> int:
+    """Deadlock class for the channel leaving ring position ``position``.
+
+    The dateline sits on the wrap-around channel from node ``k-1`` to
+    node ``0`` of each ring.  A message that *starts* a ring traversal at
+    position ``p`` uses class 0 on channels ``p, p+1, ...`` until it
+    crosses the dateline, after which it uses class 1.  This helper
+    returns the class of the channel leaving ``position`` for a message
+    currently in class 0; callers switch to 1 permanently (within the
+    ring) after the hop from ``k-1``.
+    """
+    if not 0 <= position < k:
+        raise ValueError(f"ring position {position} out of range [0, {k})")
+    return 0
+
+
+class DimensionOrderRouter:
+    """Computes deterministic dimension-order routes on a k-ary n-cube.
+
+    Dimensions are crossed in increasing index order (the paper's "x first
+    then y").  On unidirectional networks every hop travels in the ``+1``
+    direction; on bidirectional networks the minimal direction is chosen
+    (ties broken towards ``+1``), which is the standard bidirectional
+    e-cube variant.
+
+    Examples
+    --------
+    >>> net = KAryNCube(k=4, n=2)
+    >>> router = DimensionOrderRouter(net)
+    >>> r = router.route((3, 1), (1, 2))
+    >>> [h.channel.src for h in r.hops]
+    [(3, 1), (0, 1), (1, 1)]
+    >>> [h.vc_class for h in r.hops]
+    [0, 1, 0]
+    """
+
+    def __init__(self, network: KAryNCube) -> None:
+        self.network = network
+
+    def next_dim(self, current: Node, dst: Node) -> int | None:
+        """The dimension the header must route in next, or ``None`` at dst."""
+        for d in range(self.network.n):
+            if current[d] != dst[d]:
+                return d
+        return None
+
+    def _direction(self, cur: int, dst: int) -> int:
+        net = self.network
+        if not net.bidirectional:
+            return +1
+        fwd = (dst - cur) % net.k
+        bwd = (cur - dst) % net.k
+        return +1 if fwd <= bwd else -1
+
+    def route(self, src: Node, dst: Node) -> Route:
+        """Full route from ``src`` to ``dst`` (empty for ``src == dst``)."""
+        net = self.network
+        net._check_node(src)
+        net._check_node(dst)
+        hops: List[RouteHop] = []
+        current = src
+        for dim in range(net.n):
+            crossed_dateline = False
+            direction = self._direction(current[dim], dst[dim])
+            while current[dim] != dst[dim]:
+                channel = Channel(src=current, dim=dim, direction=direction)
+                vc_class = 1 if crossed_dateline else 0
+                hops.append(RouteHop(channel=channel, vc_class=vc_class))
+                nxt = net.neighbor(current, dim, direction)
+                # Crossing the dateline: the wrap-around hop itself and all
+                # later hops in this ring use class 1.
+                if direction == +1 and current[dim] == net.k - 1:
+                    crossed_dateline = True
+                    hops[-1] = RouteHop(channel=channel, vc_class=1)
+                elif direction == -1 and current[dim] == 0:
+                    crossed_dateline = True
+                    hops[-1] = RouteHop(channel=channel, vc_class=1)
+                current = nxt
+        return Route(src=src, dst=dst, hops=tuple(hops))
+
+    def hop_count(self, src: Node, dst: Node) -> int:
+        """Number of channels of the route without materialising it."""
+        net = self.network
+        total = 0
+        for dim in range(net.n):
+            fwd = (dst[dim] - src[dim]) % net.k
+            if net.bidirectional:
+                total += min(fwd, net.k - fwd)
+            else:
+                total += fwd
+        return total

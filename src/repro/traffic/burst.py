@@ -1,0 +1,198 @@
+"""Bursty (non-Poisson) source processes — the paper's future work.
+
+The conclusion of the paper: "there have been some attempts to construct
+analytical models for interconnection networks operating under
+non-Poissonian traffic load, including bursty and self-similar traffic
+... Our next objective is to extend the above modelling approach to deal
+with such traffic patterns."  This module supplies the workload side of
+that extension for the *simulator*:
+
+* :class:`ExponentialArrivals` — the paper's Poisson process (renewal
+  with exponential gaps), the default everywhere;
+* :class:`OnOffArrivals` — a two-state Markov-modulated process: a
+  source alternates exponential ON periods (generating at an elevated
+  rate) and OFF periods (silent).  Mean rate is held at ``rate`` while
+  the burstiness parameter concentrates the arrivals;
+* :class:`ParetoOnOffArrivals` — ON/OFF with heavy-tailed (Pareto)
+  sojourn times, the standard construction whose superposition over many
+  sources exhibits self-similar traffic (Willinger et al.).
+
+All are *inter-arrival samplers*: ``next_gap(rng)`` returns the time to
+the next message.  They plug into
+:class:`~repro.simulator.network.TorusWorkload` via the
+``arrival_model`` parameter; the analytical model retains its Poisson
+assumption (i), so comparing the two under bursty load quantifies
+exactly the gap the paper's future work targets (see
+``examples/bursty_traffic.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+__all__ = [
+    "ArrivalModel",
+    "ExponentialArrivals",
+    "OnOffArrivals",
+    "ParetoOnOffArrivals",
+]
+
+
+class ArrivalModel(abc.ABC):
+    """Per-source inter-arrival time sampler.
+
+    Implementations must be *stateful per source*: the workload creates
+    one instance per source via :meth:`fresh`.
+    """
+
+    @abc.abstractmethod
+    def next_gap(self, rng: np.random.Generator) -> float:
+        """Time (cycles, continuous) from the current arrival to the next."""
+
+    @abc.abstractmethod
+    def fresh(self) -> "ArrivalModel":
+        """Independent copy with reset burst state (one per source)."""
+
+    @property
+    @abc.abstractmethod
+    def mean_rate(self) -> float:
+        """Long-run arrivals per cycle (what eq 3 calls ``lambda``)."""
+
+
+class ExponentialArrivals(ArrivalModel):
+    """Poisson process of rate ``rate`` (assumption i of the paper)."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    def next_gap(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+    def fresh(self) -> "ExponentialArrivals":
+        return ExponentialArrivals(self.rate)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+
+class OnOffArrivals(ArrivalModel):
+    """Markov-modulated ON/OFF source with exponential sojourns.
+
+    The source spends exponential ON periods of mean ``on_mean`` cycles
+    generating a Poisson stream at ``peak_rate``, then exponential OFF
+    periods sized so the long-run mean equals ``rate``:
+
+        duty = rate / peak_rate,   off_mean = on_mean * (1 - duty)/duty.
+
+    ``burstiness = peak_rate / rate`` (> 1) measures how concentrated
+    the arrivals are; ``burstiness -> 1`` recovers Poisson.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burstiness: float = 5.0,
+        on_mean: float = 200.0,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burstiness < 1.0:
+            raise ValueError(f"burstiness must be >= 1, got {burstiness}")
+        if on_mean <= 0:
+            raise ValueError(f"on_mean must be positive, got {on_mean}")
+        self.rate = float(rate)
+        self.burstiness = float(burstiness)
+        self.on_mean = float(on_mean)
+        self.peak_rate = self.rate * self.burstiness
+        duty = 1.0 / self.burstiness
+        self.off_mean = self.on_mean * (1.0 - duty) / duty if duty < 1 else 0.0
+        self._on_left = 0.0  # remaining ON time; starts OFF-boundary
+
+    def next_gap(self, rng: np.random.Generator) -> float:
+        gap = 0.0
+        while True:
+            if self._on_left <= 0.0:
+                if self.off_mean > 0.0:
+                    gap += float(rng.exponential(self.off_mean))
+                self._on_left = float(rng.exponential(self.on_mean))
+            candidate = float(rng.exponential(1.0 / self.peak_rate))
+            if candidate <= self._on_left:
+                self._on_left -= candidate
+                return gap + candidate
+            # ON period ended before the next arrival: burn it and loop.
+            gap += self._on_left
+            self._on_left = 0.0
+
+    def fresh(self) -> "OnOffArrivals":
+        return OnOffArrivals(self.rate, self.burstiness, self.on_mean)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+
+class ParetoOnOffArrivals(ArrivalModel):
+    """ON/OFF source with Pareto-distributed sojourn times.
+
+    Heavy-tailed ON/OFF sojourns (shape ``alpha`` in (1, 2)) give the
+    source long-range dependence; aggregating many such sources yields
+    (asymptotically) self-similar traffic — the workload class the
+    paper's conclusion points at.  Mean rate is matched to ``rate`` as
+    in :class:`OnOffArrivals`.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burstiness: float = 5.0,
+        on_mean: float = 200.0,
+        alpha: float = 1.5,
+    ) -> None:
+        if not 1.0 < alpha < 2.0:
+            raise ValueError(f"alpha must be in (1, 2), got {alpha}")
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burstiness < 1.0:
+            raise ValueError(f"burstiness must be >= 1, got {burstiness}")
+        self.rate = float(rate)
+        self.burstiness = float(burstiness)
+        self.on_mean = float(on_mean)
+        self.alpha = float(alpha)
+        self.peak_rate = self.rate * self.burstiness
+        duty = 1.0 / self.burstiness
+        self.off_mean = self.on_mean * (1.0 - duty) / duty if duty < 1 else 0.0
+        self._on_left = 0.0
+
+    def _pareto(self, rng: np.random.Generator, mean: float) -> float:
+        # Pareto with shape alpha and mean `mean`: x_m = mean*(alpha-1)/alpha.
+        xm = mean * (self.alpha - 1.0) / self.alpha
+        return float(xm / rng.random() ** (1.0 / self.alpha))
+
+    def next_gap(self, rng: np.random.Generator) -> float:
+        gap = 0.0
+        while True:
+            if self._on_left <= 0.0:
+                if self.off_mean > 0.0:
+                    gap += self._pareto(rng, self.off_mean)
+                self._on_left = self._pareto(rng, self.on_mean)
+            candidate = float(rng.exponential(1.0 / self.peak_rate))
+            if candidate <= self._on_left:
+                self._on_left -= candidate
+                return gap + candidate
+            gap += self._on_left
+            self._on_left = 0.0
+
+    def fresh(self) -> "ParetoOnOffArrivals":
+        return ParetoOnOffArrivals(
+            self.rate, self.burstiness, self.on_mean, self.alpha
+        )
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate

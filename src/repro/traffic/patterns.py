@@ -1,0 +1,225 @@
+"""Destination distributions (traffic patterns).
+
+The paper's traffic model (assumption ii, after Pfister & Norton [20]):
+"each generated message has a finite probability ``h`` of being directed
+to the hot-spot node, and probability ``1-h`` of being uniformly directed
+to the other network nodes".  :class:`HotSpotPattern` implements exactly
+that; :class:`UniformPattern` is the ``h = 0`` degenerate case that the
+pre-existing uniform-traffic models assume.
+
+For the extended examples we also provide the classic permutation
+patterns (matrix transpose, bit reversal) and an arbitrary
+traffic-matrix pattern; they exercise the same simulator code paths with
+non-uniform but hot-spot-free traffic.
+
+Patterns are deterministic functions of an externally supplied
+:class:`numpy.random.Generator`, so simulations are reproducible from a
+seed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.topology.kary_ncube import KAryNCube, Node
+
+__all__ = [
+    "DestinationPattern",
+    "UniformPattern",
+    "HotSpotPattern",
+    "TransposePattern",
+    "BitReversalPattern",
+    "MatrixPattern",
+]
+
+
+class DestinationPattern(abc.ABC):
+    """Chooses a destination rank for each message generated at a source.
+
+    Subclasses must never return the source itself: the paper's traffic
+    model draws destinations among *other* nodes (and the hot-spot node
+    does not send hot-spot messages to itself).
+    """
+
+    def __init__(self, network: KAryNCube) -> None:
+        self.network = network
+
+    @abc.abstractmethod
+    def draw(self, source_rank: int, rng: np.random.Generator) -> int:
+        """Destination rank for one message generated at ``source_rank``."""
+
+    def destination_probabilities(self, source_rank: int) -> np.ndarray:
+        """Vector ``p[d]`` of destination probabilities for this source.
+
+        Default implementation estimates nothing — subclasses override
+        with their closed form.  Used by tests to validate :meth:`draw`
+        against the intended distribution.
+        """
+        raise NotImplementedError
+
+    def _uniform_other(self, source_rank: int, rng: np.random.Generator) -> int:
+        """Uniform draw over the ``N-1`` nodes other than the source."""
+        n = self.network.num_nodes
+        d = int(rng.integers(0, n - 1))
+        return d + 1 if d >= source_rank else d
+
+
+class UniformPattern(DestinationPattern):
+    """Uniform traffic over the other ``N-1`` nodes (the h=0 case)."""
+
+    def draw(self, source_rank: int, rng: np.random.Generator) -> int:
+        return self._uniform_other(source_rank, rng)
+
+    def destination_probabilities(self, source_rank: int) -> np.ndarray:
+        n = self.network.num_nodes
+        p = np.full(n, 1.0 / (n - 1))
+        p[source_rank] = 0.0
+        return p
+
+
+class HotSpotPattern(DestinationPattern):
+    """Pfister–Norton hot-spot traffic (paper assumption ii).
+
+    With probability ``h`` the destination is the hot-spot node; with
+    probability ``1-h`` it is uniform over the other ``N-1`` nodes
+    (which *include* the hot-spot node, so the hot node's total share is
+    ``h + (1-h)/(N-1)``).  Messages generated *by* the hot-spot node are
+    always regular — a node does not send to itself — matching the
+    paper's "when the source is the hot-spot node, only regular traffic
+    is generated".
+
+    Parameters
+    ----------
+    network:
+        Topology the pattern lives on.
+    hotspot_fraction:
+        The hot-spot probability ``h`` in [0, 1].
+    hotspot_node:
+        Coordinate vector of the hot node (defaults to the origin; by
+        symmetry of the torus the choice is irrelevant to statistics).
+    """
+
+    def __init__(
+        self,
+        network: KAryNCube,
+        hotspot_fraction: float,
+        hotspot_node: Optional[Node] = None,
+    ) -> None:
+        super().__init__(network)
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError(
+                f"hot-spot fraction must be in [0, 1], got {hotspot_fraction}"
+            )
+        self.h = float(hotspot_fraction)
+        if hotspot_node is None:
+            hotspot_node = (0,) * network.n
+        network._check_node(hotspot_node)
+        self.hotspot_node: Node = tuple(hotspot_node)
+        self.hotspot_rank = network.rank(self.hotspot_node)
+
+    def draw(self, source_rank: int, rng: np.random.Generator) -> int:
+        if source_rank != self.hotspot_rank and rng.random() < self.h:
+            return self.hotspot_rank
+        return self._uniform_other(source_rank, rng)
+
+    def is_hot_message(self, source_rank: int, dest_rank: int) -> bool:
+        """Classifier used by the simulator's statistics: a message is a
+        *hot-spot message* when it targets the hot node and was not sent
+        by the hot node itself.
+
+        Note the ``(1-h)/(N-1)`` sliver of uniform messages that happen
+        to hit the hot node is counted as hot by destination — the same
+        aggregation the analytical channel rates use.
+        """
+        return dest_rank == self.hotspot_rank and source_rank != self.hotspot_rank
+
+    def destination_probabilities(self, source_rank: int) -> np.ndarray:
+        n = self.network.num_nodes
+        if source_rank == self.hotspot_rank:
+            p = np.full(n, 1.0 / (n - 1))
+            p[source_rank] = 0.0
+            return p
+        p = np.full(n, (1.0 - self.h) / (n - 1))
+        p[source_rank] = 0.0
+        p[self.hotspot_rank] += self.h
+        return p
+
+
+class TransposePattern(DestinationPattern):
+    """Matrix-transpose permutation: ``(x, y) -> (y, x)`` (2-D only).
+
+    Nodes on the diagonal have themselves as image; they fall back to
+    uniform traffic so the no-self-message invariant holds.
+    """
+
+    def __init__(self, network: KAryNCube) -> None:
+        if network.n != 2:
+            raise ValueError("transpose pattern requires a 2-D network")
+        super().__init__(network)
+
+    def draw(self, source_rank: int, rng: np.random.Generator) -> int:
+        x, y = self.network.unrank(source_rank)
+        if x == y:
+            return self._uniform_other(source_rank, rng)
+        return self.network.rank((y, x))
+
+
+class BitReversalPattern(DestinationPattern):
+    """Bit-reversal permutation on the rank's binary representation.
+
+    Requires ``N`` to be a power of two.  Fixed points fall back to
+    uniform traffic.
+    """
+
+    def __init__(self, network: KAryNCube) -> None:
+        super().__init__(network)
+        n = network.num_nodes
+        if n & (n - 1):
+            raise ValueError("bit reversal requires a power-of-two node count")
+        self._bits = n.bit_length() - 1
+
+    def _reverse(self, rank: int) -> int:
+        out = 0
+        for _ in range(self._bits):
+            out = (out << 1) | (rank & 1)
+            rank >>= 1
+        return out
+
+    def draw(self, source_rank: int, rng: np.random.Generator) -> int:
+        dest = self._reverse(source_rank)
+        if dest == source_rank:
+            return self._uniform_other(source_rank, rng)
+        return dest
+
+
+class MatrixPattern(DestinationPattern):
+    """Arbitrary stochastic traffic matrix ``P[s, d]``.
+
+    ``matrix[s]`` must be a probability vector with ``matrix[s, s] == 0``.
+    Useful for composing custom non-uniform workloads in examples.
+    """
+
+    def __init__(self, network: KAryNCube, matrix: Sequence[Sequence[float]]) -> None:
+        super().__init__(network)
+        m = np.asarray(matrix, dtype=float)
+        n = network.num_nodes
+        if m.shape != (n, n):
+            raise ValueError(f"matrix must be {n}x{n}, got {m.shape}")
+        if np.any(m < 0):
+            raise ValueError("matrix entries must be non-negative")
+        if np.any(np.abs(m.sum(axis=1) - 1.0) > 1e-9):
+            raise ValueError("matrix rows must sum to 1")
+        if np.any(np.diag(m) != 0):
+            raise ValueError("self-traffic (diagonal entries) must be zero")
+        self.matrix = m
+        self._cumulative = np.cumsum(m, axis=1)
+
+    def draw(self, source_rank: int, rng: np.random.Generator) -> int:
+        u = rng.random()
+        return int(np.searchsorted(self._cumulative[source_rank], u, side="right"))
+
+    def destination_probabilities(self, source_rank: int) -> np.ndarray:
+        return self.matrix[source_rank].copy()

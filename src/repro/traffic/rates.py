@@ -1,0 +1,191 @@
+"""Analytical channel traffic rates (paper eqs 1-9).
+
+Geometry conventions (paper §3, 2-D torus, hot node at ``(v_hx, v_hy)``):
+
+* dimension 0 is "x", dimension 1 is "y";
+* the *hot y-ring* is the column of nodes sharing the hot node's x
+  coordinate — every hot-spot message finishes its trip inside it;
+* a channel of the hot y-ring is ``j`` hops from the hot node when its
+  source node is ``j`` hops upstream (``j = k`` labels the hot node's own
+  outgoing channel);
+* an x channel is ``j`` hops from the hot y-ring when its source node is
+  ``j`` hops upstream of the hot column (``j = k`` labels channels leaving
+  hot-column nodes).
+
+Rates:
+
+* eq 1: mean hops per dimension of regular traffic ``k̄ = (k-1)/2``;
+* eq 2: mean channels crossed by a regular message ``d = n k̄``;
+* eq 3: regular rate on every channel ``lam_r = lam (1-h) k̄``
+  (``N lam (1-h) k̄`` traversals/cycle spread over the ``N`` channels of
+  each dimension);
+* eqs 4-5: fraction of system nodes whose hot-spot messages cross a given
+  channel — ``P_hx,j = (k-j)/N`` (the ``k-j`` nodes of the same row at
+  x-distance ``>= j``), ``P_hy,j = k(k-j)/N`` (all ``k`` nodes of each of
+  the ``k-j`` rows at y-distance ``>= j``);
+* eqs 6-7: hot-spot rates ``lam^h_x,j = N lam h P_hx,j``,
+  ``lam^h_y,j = N lam h P_hy,j``;
+* eqs 8-9: totals ``lam_x,j = lam_r + lam^h_x,j`` and likewise for y.
+
+:func:`empirical_channel_rates` computes the exact expected crossing rate
+of every channel by enumerating deterministic routes — the tests use it
+to prove the closed forms correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.topology.kary_ncube import Channel, KAryNCube
+from repro.topology.routing import DimensionOrderRouter
+from repro.traffic.patterns import DestinationPattern
+
+__all__ = ["ChannelRates", "HotSpotRates", "empirical_channel_rates"]
+
+
+@dataclass(frozen=True)
+class ChannelRates:
+    """Mean-hop quantities and the regular channel rate (eqs 1-3)."""
+
+    k: int
+    n: int
+    rate: float
+    hotspot_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ValueError(f"radix must be >= 2, got {self.k}")
+        if self.n < 1:
+            raise ValueError(f"dimensions must be >= 1, got {self.n}")
+        if self.rate < 0:
+            raise ValueError(f"rate must be non-negative, got {self.rate}")
+        if not 0.0 <= self.hotspot_fraction <= 1.0:
+            raise ValueError(
+                f"hot-spot fraction must be in [0,1], got {self.hotspot_fraction}"
+            )
+
+    @property
+    def mean_hops_per_dimension(self) -> float:
+        """Eq (1): ``k̄ = sum_{i=1}^{k-1} i/k = (k-1)/2``."""
+        return (self.k - 1) / 2.0
+
+    @property
+    def mean_message_hops(self) -> float:
+        """Eq (2): ``d = n k̄``."""
+        return self.n * self.mean_hops_per_dimension
+
+    @property
+    def regular_rate(self) -> float:
+        """Eq (3): regular traffic rate on any channel of any dimension."""
+        return self.rate * (1.0 - self.hotspot_fraction) * self.mean_hops_per_dimension
+
+
+class HotSpotRates:
+    """Hot-spot channel rates of the 2-D model (eqs 4-9).
+
+    Parameters
+    ----------
+    k:
+        Radix; the network is the ``k x k`` unidirectional torus.
+    rate:
+        Per-node generation rate ``lambda`` (messages/cycle).
+    hotspot_fraction:
+        Pfister–Norton ``h``.
+
+    Indexing: ``j`` runs over ``1..k`` per the paper's convention; arrays
+    returned by the vector accessors are indexed ``[j-1]``.
+    """
+
+    def __init__(self, k: int, rate: float, hotspot_fraction: float) -> None:
+        self.channel = ChannelRates(k=k, n=2, rate=rate, hotspot_fraction=hotspot_fraction)
+        self.k = k
+        self.rate = float(rate)
+        self.h = float(hotspot_fraction)
+        self.num_nodes = k * k
+
+    # -- eq 4 / eq 5 ----------------------------------------------------
+    def p_hx(self, j: int) -> float:
+        """Eq (4): node fraction routing hot traffic over x channel j."""
+        self._check_j(j)
+        return (self.k - j) / self.num_nodes
+
+    def p_hy(self, j: int) -> float:
+        """Eq (5): node fraction routing hot traffic over hot-ring channel j."""
+        self._check_j(j)
+        return self.k * (self.k - j) / self.num_nodes
+
+    # -- eq 6 / eq 7 ----------------------------------------------------
+    def hot_rate_x(self, j: int) -> float:
+        """Eq (6): ``lam^h_x,j = N lam h P_hx,j = lam h (k-j)``."""
+        return self.num_nodes * self.rate * self.h * self.p_hx(j)
+
+    def hot_rate_y(self, j: int) -> float:
+        """Eq (7): ``lam^h_y,j = N lam h P_hy,j = lam h k (k-j)``."""
+        return self.num_nodes * self.rate * self.h * self.p_hy(j)
+
+    # -- eq 8 / eq 9 ----------------------------------------------------
+    def total_rate_x(self, j: int) -> float:
+        """Eq (8): regular + hot-spot rate on x channel j."""
+        return self.channel.regular_rate + self.hot_rate_x(j)
+
+    def total_rate_y(self, j: int) -> float:
+        """Eq (9): regular + hot-spot rate on hot-ring channel j."""
+        return self.channel.regular_rate + self.hot_rate_y(j)
+
+    # -- vector forms (j = 1..k as array index j-1) ----------------------
+    def hot_rates_x(self) -> np.ndarray:
+        return np.array([self.hot_rate_x(j) for j in range(1, self.k + 1)])
+
+    def hot_rates_y(self) -> np.ndarray:
+        return np.array([self.hot_rate_y(j) for j in range(1, self.k + 1)])
+
+    def _check_j(self, j: int) -> None:
+        if not 1 <= j <= self.k:
+            raise ValueError(f"hop index j must be in [1, {self.k}], got {j}")
+
+    # -- conservation ----------------------------------------------------
+    def total_hot_traffic_generated(self) -> float:
+        """Hot messages generated per cycle, ``(N-1) lam h``.
+
+        The hot node itself sends no hot-spot messages.
+        """
+        return (self.num_nodes - 1) * self.rate * self.h
+
+    def total_hot_y_traversals(self) -> float:
+        """Hot-spot crossings of hot-ring y channels per cycle.
+
+        Equals ``sum_j lam^h_y,j`` over ``j = 1..k-1`` (channel ``j = k``
+        leaves the hot node and carries no hot traffic).  Conservation:
+        a source in a row at distance ``t`` crosses ``t`` y channels, so
+        the total is ``lam h k sum_t t = lam h k^2 (k-1)/2``.
+        """
+        return float(sum(self.hot_rate_y(j) for j in range(1, self.k)))
+
+
+def empirical_channel_rates(
+    network: KAryNCube,
+    rate: float,
+    pattern: DestinationPattern,
+) -> Dict[Channel, float]:
+    """Exact expected crossing rate of every channel under a pattern.
+
+    Enumerates all (source, destination) pairs, weights each by
+    ``rate * P(dest | source)`` from the pattern's closed-form
+    distribution, and accumulates over the deterministic route's
+    channels.  O(N² · diameter); intended for test-sized networks.
+    """
+    router = DimensionOrderRouter(network)
+    rates: Dict[Channel, float] = {ch: 0.0 for ch in network.channels()}
+    for s in range(network.num_nodes):
+        probs = pattern.destination_probabilities(s)
+        src = network.unrank(s)
+        for d in range(network.num_nodes):
+            p = probs[d]
+            if p == 0.0 or d == s:
+                continue
+            for hop in router.route(src, network.unrank(d)).hops:
+                rates[hop.channel] += rate * p
+    return rates

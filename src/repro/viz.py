@@ -1,0 +1,96 @@
+"""Terminal plots for latency curves (no plotting dependencies).
+
+The paper's figures are latency-vs-offered-traffic line charts; this
+module renders the same charts as ASCII so the CLI and examples can show
+curve *shape* (the reproduction target) directly in a terminal or log
+file.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import SweepResult
+
+__all__ = ["ascii_plot", "plot_sweeps"]
+
+_MARKERS = "ox+*#@%"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "traffic (messages/cycle)",
+    y_label: str = "latency (cycles)",
+    y_cap: Optional[float] = None,
+) -> str:
+    """Render named (x, y) series on one ASCII chart.
+
+    Non-finite y values are dropped (saturated points have no finite
+    latency — exactly like the paper's curves, which simply stop).
+    ``y_cap`` clips the y axis so a near-saturation spike does not
+    flatten the rest of the curve.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("chart must be at least 16x4 characters")
+    pts: List[Tuple[float, float, int]] = []
+    for idx, (_, data) in enumerate(series.items()):
+        for x, y in data:
+            if math.isfinite(x) and math.isfinite(y):
+                if y_cap is not None and y > y_cap:
+                    y = y_cap
+                pts.append((x, y, idx))
+    if not pts:
+        return "(no finite points to plot)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, idx in pts:
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = _MARKERS[idx % len(_MARKERS)]
+
+    lines = []
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{y_label}   [{legend}]")
+    for r, row_chars in enumerate(grid):
+        if r == 0:
+            label = f"{y_hi:10.4g} |"
+        elif r == height - 1:
+            label = f"{y_lo:10.4g} |"
+        else:
+            label = "           |"
+        lines.append(label + "".join(row_chars))
+    lines.append("           +" + "-" * width)
+    left = f"{x_lo:.4g}"
+    right = f"{x_hi:.4g}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append("            " + left + " " * pad + right + f"  {x_label}")
+    return "\n".join(lines)
+
+
+def plot_sweeps(
+    sweeps: Sequence[SweepResult],
+    *,
+    width: int = 64,
+    height: int = 18,
+    y_cap: Optional[float] = None,
+) -> str:
+    """Plot one or more latency sweeps (model and/or simulation)."""
+    series = {
+        s.label: [(p.rate, p.latency) for p in s.points if not p.saturated]
+        for s in sweeps
+    }
+    return ascii_plot(series, width=width, height=height, y_cap=y_cap)

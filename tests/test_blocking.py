@@ -1,0 +1,87 @@
+"""Unit tests for repro.queueing.blocking (eqs 26-30)."""
+
+import math
+
+import pytest
+
+from repro.queueing.blocking import (
+    BlockingInputs,
+    blocking_delay,
+    blocking_probability,
+    weighted_service_time,
+)
+from repro.queueing.mg1 import mg1_waiting_time
+
+
+class TestInputs:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BlockingInputs(-0.1, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            BlockingInputs(0.1, -0.2, 1.0, 1.0)
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            BlockingInputs(0.1, 0.1, -1.0, 1.0)
+
+
+class TestWeightedService:
+    def test_eq30_weighting(self):
+        inp = BlockingInputs(lam=0.02, gam=0.01, s_lam=30.0, s_gam=60.0)
+        assert weighted_service_time(inp) == pytest.approx(
+            (0.02 * 30 + 0.01 * 60) / 0.03
+        )
+
+    def test_zero_traffic(self):
+        assert weighted_service_time(BlockingInputs(0, 0, 10, 10)) == 0.0
+
+    def test_single_class_reduces_to_its_service(self):
+        inp = BlockingInputs(lam=0.02, gam=0.0, s_lam=30.0, s_gam=99.0)
+        assert weighted_service_time(inp) == 30.0
+
+
+class TestProbability:
+    def test_eq27(self):
+        inp = BlockingInputs(0.01, 0.02, 30.0, 10.0)
+        assert blocking_probability(inp) == pytest.approx(0.01 * 30 + 0.02 * 10)
+
+    def test_clamped_to_one(self):
+        inp = BlockingInputs(1.0, 1.0, 30.0, 10.0)
+        assert blocking_probability(inp) == 1.0
+
+    def test_zero_at_zero_load(self):
+        assert blocking_probability(BlockingInputs(0, 0, 30, 10)) == 0.0
+
+
+class TestDelay:
+    def test_zero_when_no_traffic(self):
+        assert blocking_delay(BlockingInputs(0, 0, 30, 10), 32) == 0.0
+
+    def test_infinite_at_saturation(self):
+        # utilisation = 0.05*30 = 1.5 >= 1
+        assert blocking_delay(BlockingInputs(0.05, 0, 30, 0), 16) == math.inf
+
+    def test_eq26_product_form(self):
+        inp = BlockingInputs(0.004, 0.002, 40.0, 35.0)
+        s_bar = weighted_service_time(inp)
+        expected = blocking_probability(inp) * mg1_waiting_time(
+            0.006, s_bar, 32.0
+        )
+        assert blocking_delay(inp, 32.0) == pytest.approx(expected)
+
+    def test_monotone_in_hot_rate(self):
+        delays = [
+            blocking_delay(BlockingInputs(0.003, g, 40.0, 35.0), 32.0)
+            for g in (0.0, 0.005, 0.01, 0.015)
+        ]
+        assert delays == sorted(delays)
+        assert delays[0] < delays[-1]
+
+    def test_symmetric_in_class_labels(self):
+        a = blocking_delay(BlockingInputs(0.003, 0.004, 40.0, 20.0), 32.0)
+        b = blocking_delay(BlockingInputs(0.004, 0.003, 20.0, 40.0), 32.0)
+        assert a == pytest.approx(b)
+
+    def test_finite_below_saturation(self):
+        d = blocking_delay(BlockingInputs(0.01, 0.01, 40.0, 40.0), 32.0)
+        assert 0 < d < math.inf

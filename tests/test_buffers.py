@@ -1,0 +1,85 @@
+"""Unit tests for repro.simulator.buffers (VC pools)."""
+
+import pytest
+
+from repro.simulator.buffers import VirtualChannelPool, vc_class_partition
+
+
+class TestPartition:
+    def test_two_vcs(self):
+        c0, c1 = vc_class_partition(2)
+        assert list(c0) == [0] and list(c1) == [1]
+
+    def test_odd_split_favours_class0(self):
+        c0, c1 = vc_class_partition(5)
+        assert list(c0) == [0, 1, 2] and list(c1) == [3, 4]
+
+    def test_both_classes_nonempty(self):
+        for v in range(2, 9):
+            c0, c1 = vc_class_partition(v)
+            assert len(c0) >= 1 and len(c1) >= 1
+            assert len(c0) + len(c1) == v
+
+    def test_requires_two(self):
+        with pytest.raises(ValueError):
+            vc_class_partition(1)
+
+
+class TestPool:
+    def test_grant_assigns_free_vc(self):
+        pool = VirtualChannelPool(2)
+        pool.request(msg_id=7, hop=0, vc_class=0)
+        grant = pool.grant_one(0)
+        assert grant is not None
+        msg_id, hop, vc = grant
+        assert (msg_id, hop) == (7, 0)
+        assert pool.holders[vc] == 7
+        assert pool.busy_count == 1
+
+    def test_grant_respects_class(self):
+        pool = VirtualChannelPool(2)
+        pool.request(1, 0, vc_class=1)
+        assert pool.grant_one(0) is None
+        grant = pool.grant_one(1)
+        assert grant is not None
+        assert grant[2] == 1  # the class-1 VC
+
+    def test_fcfs_within_class(self):
+        pool = VirtualChannelPool(4)
+        pool.request(1, 0, 0)
+        pool.request(2, 0, 0)
+        first = pool.grant_one(0)
+        second = pool.grant_one(0)
+        assert first[0] == 1 and second[0] == 2
+
+    def test_exhaustion_queues(self):
+        pool = VirtualChannelPool(2)
+        pool.request(1, 0, 0)
+        pool.request(2, 0, 0)
+        assert pool.grant_one(0) is not None
+        assert pool.grant_one(0) is None  # class 0 has a single VC
+        assert pool.has_pending()
+
+    def test_release_recycles(self):
+        pool = VirtualChannelPool(2)
+        pool.request(1, 0, 0)
+        _, _, vc = pool.grant_one(0)
+        pool.release(vc)
+        assert pool.busy_count == 0
+        pool.request(2, 0, 0)
+        assert pool.grant_one(0) is not None
+
+    def test_double_release_raises(self):
+        pool = VirtualChannelPool(2)
+        pool.request(1, 0, 0)
+        _, _, vc = pool.grant_one(0)
+        pool.release(vc)
+        with pytest.raises(RuntimeError):
+            pool.release(vc)
+
+    def test_busy_vcs_listing(self):
+        pool = VirtualChannelPool(3)
+        pool.request(5, 2, 0)
+        _, _, vc = pool.grant_one(0)
+        assert pool.busy_vcs() == [vc]
+        assert pool.holder_hops[vc] == 2

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_model_defaults(self):
+        args = build_parser().parse_args(["model", "--rate", "1e-4"])
+        assert args.k == 16 and args.lm == 32 and args.h == 0.2
+
+
+class TestModelCommand:
+    def test_single_rate(self, capsys):
+        assert main(["model", "--k", "8", "--lm", "16", "--h", "0.3",
+                     "--rate", "2e-4"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+
+    def test_saturated_rate(self, capsys):
+        assert main(["model", "--k", "8", "--lm", "16", "--h", "0.3",
+                     "--rate", "0.05"]) == 0
+        assert "SATURATED" in capsys.readouterr().out
+
+    def test_sweep_with_plot(self, capsys):
+        assert main(["model", "--k", "8", "--lm", "16", "--h", "0.3",
+                     "--sweep", "5", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "saturated" in out
+        assert "latency (cycles)" in out  # chart axis label
+
+    def test_uniform_when_h_zero(self, capsys):
+        assert main(["model", "--k", "8", "--lm", "16", "--h", "0",
+                     "--rate", "1e-3"]) == 0
+        assert "latency" in capsys.readouterr().out
+
+    def test_missing_rate_and_sweep(self, capsys):
+        assert main(["model", "--k", "8"]) == 2
+        assert "rate" in capsys.readouterr().err
+
+    def test_literal_entrance_flag(self, capsys):
+        assert main(["model", "--k", "8", "--lm", "16", "--h", "0.3",
+                     "--rate", "2e-4", "--literal-entrance"]) == 0
+
+
+class TestSaturationCommand:
+    def test_reports_bound(self, capsys):
+        assert main(["saturation", "--k", "8", "--lm", "16", "--h", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "saturation rate" in out
+        assert "bandwidth bound" in out
+
+
+class TestSimulateCommand:
+    def test_small_run(self, capsys):
+        assert main([
+            "simulate", "--k", "4", "--lm", "8", "--h", "0.2",
+            "--rate", "2e-3", "--cycles", "5000", "--warmup", "500",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean latency" in out
+        assert "saturated: False" in out
+
+    def test_ejection_flag(self, capsys):
+        assert main([
+            "simulate", "--k", "4", "--lm", "8", "--h", "0.2",
+            "--rate", "2e-3", "--cycles", "3000", "--warmup", "300",
+            "--ejection",
+        ]) == 0
+        assert "mean latency" in capsys.readouterr().out
+
+
+class TestPanelCommands:
+    def test_list_panels(self, capsys):
+        assert main(["list-panels"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1_h20", "fig2_h70"):
+            assert name in out
+
+    def test_panel_model_only(self, capsys):
+        assert main(["panel", "fig1_h40"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "saturated" in out
+
+    def test_panel_plot(self, capsys):
+        assert main(["panel", "fig1_h40", "--plot"]) == 0
+        assert "latency (cycles)" in capsys.readouterr().out
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["panel", "fig9_h99"])

@@ -1,0 +1,170 @@
+"""Unit tests for repro.core.equations (path probabilities + recurrences)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.equations import (
+    PathProbabilities,
+    chained_service_profile,
+    hot_x_service_profile,
+    hot_y_service_profile,
+    regular_service_profile,
+)
+from repro.topology import KAryNCube
+
+
+class TestPathProbabilities:
+    @pytest.mark.parametrize("k", [3, 4, 8, 16])
+    def test_total_is_one(self, k):
+        assert PathProbabilities(k=k).total() == pytest.approx(1.0)
+
+    def test_eq12_eq13_eq14_coefficients(self):
+        p = PathProbabilities(k=16)
+        assert p.p_hot_y_only == pytest.approx(1 / (16 * 17))
+        assert p.p_nonhot_y_only == pytest.approx(15 / (16 * 17))
+        assert p.p_enter_x == pytest.approx(16 / 17)
+
+    @pytest.mark.parametrize("k", [3, 5, 8])
+    def test_matches_pair_enumeration(self, k):
+        """The class probabilities are exact for uniform destinations."""
+        net = KAryNCube(k=k, n=2)
+        hot = (0, 0)
+        counts = {"hy": 0, "hybar": 0, "x_only": 0, "xhy": 0, "xhybar": 0}
+        n = net.num_nodes
+        for s, d in itertools.product(net.nodes(), repeat=2):
+            if s == d:
+                continue
+            if s[0] == d[0]:  # same column: y-only
+                if d[0] == hot[0]:
+                    counts["hy"] += 1
+                else:
+                    counts["hybar"] += 1
+            else:
+                if s[1] == d[1]:
+                    counts["x_only"] += 1
+                elif d[0] == hot[0]:
+                    counts["xhy"] += 1
+                else:
+                    counts["xhybar"] += 1
+        total = n * (n - 1)
+        p = PathProbabilities(k=k)
+        assert counts["hy"] / total == pytest.approx(p.p_hot_y_only)
+        assert counts["hybar"] / total == pytest.approx(p.p_nonhot_y_only)
+        assert counts["x_only"] / total == pytest.approx(
+            p.p_enter_x * p.p_x_only_given_x
+        )
+        assert counts["xhy"] / total == pytest.approx(
+            p.p_enter_x * p.p_x_to_hot_given_x
+        )
+        assert counts["xhybar"] / total == pytest.approx(
+            p.p_enter_x * p.p_x_to_nonhot_given_x
+        )
+
+
+class TestRegularProfile:
+    def test_zero_blocking_closed_form(self):
+        prof = regular_service_profile(k=8, blocking=0.0, message_length=32)
+        assert prof.shape == (8,)
+        assert np.allclose(prof, np.arange(1, 9) + 32)
+
+    def test_blocking_added_per_hop(self):
+        prof = regular_service_profile(k=4, blocking=2.5, message_length=10)
+        assert np.allclose(prof, np.arange(1, 5) * 3.5 + 10)
+
+    def test_recurrence_equivalence(self):
+        # S_j = 1 + B + S_{j-1}, S_1 = 1 + B + Lm.
+        b, lm, k = 1.7, 20, 6
+        prof = regular_service_profile(k, b, lm)
+        assert prof[0] == pytest.approx(1 + b + lm)
+        for j in range(1, k):
+            assert prof[j] == pytest.approx(1 + b + prof[j - 1])
+
+    def test_infinite_blocking_propagates(self):
+        prof = regular_service_profile(4, np.inf, 8)
+        assert np.all(np.isinf(prof))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            regular_service_profile(1, 0.0, 8)
+        with pytest.raises(ValueError):
+            regular_service_profile(4, 0.0, 0)
+
+
+class TestChainedProfile:
+    def test_chains_into_next_dimension(self):
+        prof = chained_service_profile(k=4, blocking=0.0, next_dimension_entry=50.0)
+        assert np.allclose(prof, np.arange(1, 5) + 50.0)
+
+    def test_recurrence(self):
+        b, entry, k = 0.8, 44.0, 5
+        prof = chained_service_profile(k, b, entry)
+        assert prof[0] == pytest.approx(1 + b + entry)
+        for j in range(1, k):
+            assert prof[j] == pytest.approx(1 + b + prof[j - 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chained_service_profile(4, 0.0, -1.0)
+
+
+class TestHotYProfile:
+    def test_zero_blocking(self):
+        prof = hot_y_service_profile(8, np.zeros(7), 32)
+        assert np.allclose(prof, np.arange(1, 8) + 32)
+
+    def test_position_dependent_blocking(self):
+        b = np.array([5.0, 0.0, 1.0])
+        prof = hot_y_service_profile(4, b, 10)
+        assert prof[0] == pytest.approx(1 + 5 + 10)
+        assert prof[1] == pytest.approx(1 + 0 + prof[0])
+        assert prof[2] == pytest.approx(1 + 1 + prof[1])
+
+    def test_accepts_length_k_padding(self):
+        prof = hot_y_service_profile(4, np.zeros(4), 10)
+        assert prof.shape == (3,)
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            hot_y_service_profile(4, np.zeros(2), 10)
+
+
+class TestHotXProfile:
+    def test_last_hop_cases(self):
+        k, lm = 4, 16
+        hy = hot_y_service_profile(k, np.zeros(k - 1), lm)
+        prof = hot_x_service_profile(k, np.zeros((k - 1, k)), hy, lm)
+        assert prof.shape == (k - 1, k)
+        # j=1, hot row (t=k): delivers -> 1 + Lm.
+        assert prof[0, k - 1] == pytest.approx(1 + lm)
+        # j=1, t<k: chains into hot ring at distance t.
+        for t in range(1, k):
+            assert prof[0, t - 1] == pytest.approx(1 + hy[t - 1])
+
+    def test_j_recurrence(self):
+        k, lm = 5, 8
+        rng = np.random.default_rng(0)
+        b = rng.uniform(0, 3, size=(k - 1, k))
+        hy = hot_y_service_profile(k, np.zeros(k - 1), lm)
+        prof = hot_x_service_profile(k, b, hy, lm)
+        for j in range(1, k - 1):
+            for t in range(k):
+                assert prof[j, t] == pytest.approx(1 + b[j, t] + prof[j - 1, t])
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            hot_x_service_profile(4, np.zeros((2, 4)), np.zeros(3), 8)
+        with pytest.raises(ValueError):
+            hot_x_service_profile(4, np.zeros((3, 4)), np.zeros(2), 8)
+
+    def test_zero_load_total_distance(self):
+        """At zero load S^h_x(j,t) = j + t + Lm for t<k (x hops + y hops
+        + drain) and j + Lm for t = k."""
+        k, lm = 6, 20
+        hy = hot_y_service_profile(k, np.zeros(k - 1), lm)
+        prof = hot_x_service_profile(k, np.zeros((k - 1, k)), hy, lm)
+        for j in range(1, k):
+            for t in range(1, k + 1):
+                expected = j + (t if t < k else 0) + lm
+                assert prof[j - 1, t - 1] == pytest.approx(expected)

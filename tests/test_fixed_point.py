@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.fixed_point."""
+
+import numpy as np
+import pytest
+
+from repro.core.fixed_point import (
+    FixedPointSolver,
+    FixedPointStatus,
+)
+
+
+class TestConvergence:
+    def test_linear_contraction(self):
+        # x -> 0.5 x + 1 has fixed point 2.
+        solver = FixedPointSolver(tol=1e-12, damping=1.0)
+        result = solver.solve(lambda x: 0.5 * x + 1.0, np.array([0.0]))
+        assert result.converged
+        assert result.state[0] == pytest.approx(2.0, abs=1e-9)
+
+    def test_vector_fixed_point(self):
+        a = np.array([[0.3, 0.1], [0.0, 0.4]])
+        b = np.array([1.0, 2.0])
+        solver = FixedPointSolver()
+        result = solver.solve(lambda x: a @ x + b, np.zeros(2))
+        expected = np.linalg.solve(np.eye(2) - a, b)
+        assert result.converged
+        assert np.allclose(result.state, expected, atol=1e-7)
+
+    def test_damping_stabilises_oscillation(self):
+        # x -> -0.99 x + 2 oscillates with plain iteration but has fixed
+        # point ~1.005; damping converges it quickly.
+        solver = FixedPointSolver(damping=0.5, tol=1e-10)
+        result = solver.solve(lambda x: -0.99 * x + 2.0, np.array([10.0]))
+        assert result.converged
+        assert result.state[0] == pytest.approx(2.0 / 1.99, abs=1e-6)
+
+    def test_iterations_reported(self):
+        solver = FixedPointSolver(tol=1e-10, damping=1.0)
+        result = solver.solve(lambda x: 0.5 * x, np.array([1.0]))
+        assert result.iterations > 1
+        assert result.residual < 1e-10
+
+
+class TestSaturation:
+    def test_inf_reports_saturated(self):
+        solver = FixedPointSolver()
+        result = solver.solve(lambda x: np.array([np.inf]), np.array([1.0]))
+        assert result.status is FixedPointStatus.SATURATED
+        assert not result.converged
+
+    def test_nan_reports_saturated(self):
+        solver = FixedPointSolver()
+        result = solver.solve(lambda x: np.array([np.nan]), np.array([1.0]))
+        assert result.status is FixedPointStatus.SATURATED
+
+    def test_divergence_hits_budget(self):
+        solver = FixedPointSolver(max_iterations=50, damping=1.0)
+        result = solver.solve(lambda x: 2.0 * x + 1.0, np.array([1.0]))
+        assert result.status is FixedPointStatus.MAX_ITERATIONS
+
+
+class TestValidation:
+    def test_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            FixedPointSolver(tol=0.0)
+
+    def test_bad_damping(self):
+        with pytest.raises(ValueError):
+            FixedPointSolver(damping=0.0)
+        with pytest.raises(ValueError):
+            FixedPointSolver(damping=1.5)
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError):
+            FixedPointSolver(max_iterations=0)
+
+    def test_nonfinite_initial_rejected(self):
+        solver = FixedPointSolver()
+        with pytest.raises(ValueError):
+            solver.solve(lambda x: x, np.array([np.inf]))
+
+    def test_shape_change_rejected(self):
+        solver = FixedPointSolver()
+        with pytest.raises(ValueError):
+            solver.solve(lambda x: np.zeros(3), np.zeros(2))

@@ -1,0 +1,99 @@
+"""Unit tests for repro.traffic.generators (Poisson sources)."""
+
+import numpy as np
+import pytest
+
+from repro.topology import KAryNCube
+from repro.traffic.generators import (
+    GeneratedMessage,
+    MessageSource,
+    PoissonProcess,
+    build_sources,
+)
+from repro.traffic.patterns import UniformPattern
+
+
+@pytest.fixture
+def net():
+    return KAryNCube(k=4, n=2)
+
+
+@pytest.fixture
+def pattern(net):
+    return UniformPattern(net)
+
+
+class TestPoissonProcess:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(-0.1)
+
+    def test_zero_rate_generates_nothing(self):
+        p = PoissonProcess(0.0)
+        rng = np.random.default_rng(0)
+        assert all(p.arrivals(rng) == 0 for _ in range(100))
+
+    def test_empirical_rate(self):
+        p = PoissonProcess(0.25)
+        rng = np.random.default_rng(7)
+        total = sum(p.arrivals(rng) for _ in range(40_000))
+        assert total / 40_000 == pytest.approx(0.25, rel=0.05)
+
+    def test_poisson_variance(self):
+        # Poisson: variance equals mean.
+        p = PoissonProcess(0.5)
+        rng = np.random.default_rng(11)
+        samples = np.array([p.arrivals(rng) for _ in range(40_000)])
+        assert samples.var() == pytest.approx(samples.mean(), rel=0.1)
+
+
+class TestMessageSource:
+    def test_generates_valid_messages(self, pattern):
+        src = MessageSource(3, PoissonProcess(2.0), pattern, message_length=8)
+        rng = np.random.default_rng(5)
+        msgs = src.generate(cycle=17, rng=rng)
+        assert msgs, "rate 2.0 should generate messages most cycles"
+        for m in msgs:
+            assert isinstance(m, GeneratedMessage)
+            assert m.source == 3
+            assert m.dest != 3
+            assert m.length == 8
+            assert m.generated_at == 17
+
+    def test_source_rank_validated(self, pattern):
+        with pytest.raises(ValueError):
+            MessageSource(16, PoissonProcess(1.0), pattern, message_length=4)
+
+    def test_length_validated(self, pattern):
+        with pytest.raises(ValueError):
+            MessageSource(0, PoissonProcess(1.0), pattern, message_length=0)
+
+    def test_callable_length(self, pattern):
+        src = MessageSource(
+            0,
+            PoissonProcess(3.0),
+            pattern,
+            message_length=lambda rng: int(rng.integers(1, 5)),
+        )
+        rng = np.random.default_rng(3)
+        lengths = {m.length for m in src.generate(0, rng)}
+        assert lengths <= {1, 2, 3, 4}
+
+    def test_callable_length_validated(self, pattern):
+        src = MessageSource(
+            0, PoissonProcess(5.0), pattern, message_length=lambda rng: 0
+        )
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            src.generate(0, rng)
+
+
+class TestBuildSources:
+    def test_one_source_per_node(self, net, pattern):
+        sources = build_sources(net, rate=0.1, pattern=pattern, message_length=4)
+        assert len(sources) == net.num_nodes
+        assert [s.source_rank for s in sources] == list(range(net.num_nodes))
+
+    def test_shared_process_rate(self, net, pattern):
+        sources = build_sources(net, rate=0.2, pattern=pattern, message_length=4)
+        assert all(s.process.rate == 0.2 for s in sources)

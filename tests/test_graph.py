@@ -1,0 +1,70 @@
+"""Unit tests for repro.topology.graph (networkx views and metrics)."""
+
+import pytest
+
+from repro.topology import KAryNCube
+from repro.topology.graph import (
+    average_distance,
+    bisection_channel_count,
+    diameter,
+    to_networkx,
+)
+
+
+class TestExport:
+    def test_node_and_edge_counts(self):
+        net = KAryNCube(k=4, n=2)
+        g = to_networkx(net)
+        assert g.number_of_nodes() == 16
+        assert g.number_of_edges() == 32
+
+    def test_edge_attributes(self):
+        net = KAryNCube(k=3, n=2)
+        g = to_networkx(net)
+        assert g[(2, 0)][(0, 0)]["dim"] == 0
+        assert g[(0, 2)][(0, 0)]["dim"] == 1
+
+    def test_graph_metadata(self):
+        g = to_networkx(KAryNCube(k=5, n=2))
+        assert g.graph["k"] == 5 and g.graph["n"] == 2
+
+    def test_bidirectional_edges(self):
+        net = KAryNCube(k=3, n=1, bidirectional=True)
+        g = to_networkx(net)
+        assert g.has_edge((0,), (1,)) and g.has_edge((1,), (0,))
+
+
+class TestMetrics:
+    def test_diameter_matches_formula(self):
+        for k, n in ((4, 2), (3, 3)):
+            net = KAryNCube(k=k, n=n)
+            assert diameter(net) == net.diameter
+
+    def test_diameter_bidirectional(self):
+        net = KAryNCube(k=6, n=2, bidirectional=True)
+        assert diameter(net) == net.diameter == 6
+
+    def test_average_distance_close_to_formula(self):
+        # Exact mean over ordered pairs = n*(k-1)/2 * N/(N-1): the
+        # closed form n*(k-1)/2 averages displacement over all N
+        # destinations including self.
+        net = KAryNCube(k=4, n=2)
+        exact = average_distance(net)
+        n_nodes = net.num_nodes
+        assert exact == pytest.approx(
+            net.mean_message_hops * n_nodes / (n_nodes - 1)
+        )
+
+    def test_bisection_count_unidirectional(self):
+        net = KAryNCube(k=4, n=2)
+        # k rings of dimension 0, each crossing the cut twice (cut +
+        # wrap-around), one direction only.
+        assert bisection_channel_count(net) == 2 * 4
+
+    def test_bisection_count_bidirectional(self):
+        net = KAryNCube(k=4, n=2, bidirectional=True)
+        assert bisection_channel_count(net) == 4 * 4
+
+    def test_bisection_requires_even_radix(self):
+        with pytest.raises(ValueError):
+            bisection_channel_count(KAryNCube(k=5, n=2))

@@ -1,0 +1,78 @@
+"""Unit tests for repro.queueing.mg1 (eq 28)."""
+
+import math
+
+import pytest
+
+from repro.queueing.mg1 import mg1_waiting_time, mg1_waiting_time_cs2
+
+
+class TestEq28:
+    def test_zero_rate_no_wait(self):
+        assert mg1_waiting_time(0.0, 50.0, 32.0) == 0.0
+
+    def test_zero_service_no_wait(self):
+        assert mg1_waiting_time(0.1, 0.0, 32.0) == 0.0
+
+    def test_saturation_infinite(self):
+        assert mg1_waiting_time(0.1, 10.0, 8.0) == math.inf
+        assert mg1_waiting_time(0.2, 10.0, 8.0) == math.inf
+
+    def test_matches_literal_eq28_form(self):
+        lam, s, lm = 0.004, 40.0, 32.0
+        # Eq (28) exactly as printed:
+        expected = lam * s**2 * (1 + (s - lm) ** 2 / s**2) / (2 * (1 - lam * s))
+        assert mg1_waiting_time(lam, s, lm) == pytest.approx(expected)
+
+    def test_deterministic_when_service_equals_length(self):
+        # S == Lm: zero variance, M/D/1 -> W = rho*S / (2(1-rho)).
+        lam, s = 0.01, 32.0
+        rho = lam * s
+        assert mg1_waiting_time(lam, s, s) == pytest.approx(
+            rho * s / (2 * (1 - rho))
+        )
+
+    def test_monotone_in_rate(self):
+        waits = [mg1_waiting_time(lam, 20.0, 16.0) for lam in (0.01, 0.02, 0.04)]
+        assert waits == sorted(waits)
+        assert waits[0] < waits[-1]
+
+    def test_monotone_in_service(self):
+        waits = [mg1_waiting_time(0.01, s, 16.0) for s in (20.0, 40.0, 80.0)]
+        assert waits == sorted(waits)
+
+    @pytest.mark.parametrize("lam,s,lm", [(-1, 1, 1), (1, -1, 1), (1, 1, -1)])
+    def test_validation(self, lam, s, lm):
+        with pytest.raises(ValueError):
+            mg1_waiting_time(lam, s, lm)
+
+
+class TestExplicitCv:
+    def test_md1_special_case(self):
+        lam, s = 0.02, 25.0
+        rho = lam * s
+        assert mg1_waiting_time_cs2(lam, s, 0.0) == pytest.approx(
+            rho * s / (2 * (1 - rho))
+        )
+
+    def test_mm1_special_case(self):
+        lam, s = 0.02, 25.0
+        rho = lam * s
+        # M/M/1: W = rho*S/(1-rho).
+        assert mg1_waiting_time_cs2(lam, s, 1.0) == pytest.approx(
+            rho * s / (1 - rho)
+        )
+
+    def test_saturation(self):
+        assert mg1_waiting_time_cs2(0.1, 10.0, 1.0) == math.inf
+
+    def test_cv_validated(self):
+        with pytest.raises(ValueError):
+            mg1_waiting_time_cs2(0.01, 10.0, -0.5)
+
+    def test_agrees_with_eq28_at_matching_cv(self):
+        lam, s, lm = 0.005, 40.0, 32.0
+        cs2 = (s - lm) ** 2 / s**2
+        assert mg1_waiting_time(lam, s, lm) == pytest.approx(
+            mg1_waiting_time_cs2(lam, s, cs2)
+        )

@@ -1,0 +1,227 @@
+"""Tests for the paper's analytical model (repro.core.model)."""
+
+import math
+
+import pytest
+
+from repro.core.model import BlockingServicePolicy, HotSpotLatencyModel
+from repro.core.uniform import UniformLatencyModel
+
+
+@pytest.fixture(scope="module")
+def model16():
+    return HotSpotLatencyModel(k=16, message_length=32, hotspot_fraction=0.2)
+
+
+class TestValidation:
+    def test_radix(self):
+        with pytest.raises(ValueError):
+            HotSpotLatencyModel(k=2, message_length=32, hotspot_fraction=0.1)
+
+    def test_message_length(self):
+        with pytest.raises(ValueError):
+            HotSpotLatencyModel(k=8, message_length=0, hotspot_fraction=0.1)
+
+    def test_hotspot_fraction(self):
+        with pytest.raises(ValueError):
+            HotSpotLatencyModel(k=8, message_length=16, hotspot_fraction=1.0)
+        with pytest.raises(ValueError):
+            HotSpotLatencyModel(k=8, message_length=16, hotspot_fraction=-0.1)
+
+    def test_vcs(self):
+        with pytest.raises(ValueError):
+            HotSpotLatencyModel(k=8, message_length=16, hotspot_fraction=0.1, num_vcs=1)
+
+    def test_negative_rate(self, model16):
+        with pytest.raises(ValueError):
+            model16.evaluate(-1e-4)
+
+    def test_policy_from_string(self):
+        m = HotSpotLatencyModel(
+            k=8, message_length=16, hotspot_fraction=0.1, blocking_service="holding"
+        )
+        assert m.blocking_service is BlockingServicePolicy.HOLDING
+
+
+class TestZeroLoad:
+    def test_zero_load_finite_and_exact_structure(self, model16):
+        res = model16.evaluate(0.0)
+        assert res.finite
+        assert res.iterations == 0
+        # No blocking, no waiting, no multiplexing at zero load.
+        assert res.mean_multiplexing_x == pytest.approx(1.0)
+        assert res.mean_multiplexing_hot_ring == pytest.approx(1.0)
+        assert res.breakdown.regular_source_wait == 0.0
+        assert res.max_utilization == 0.0
+
+    def test_zero_load_latency_value(self):
+        """Literal entrance convention: every class is charged the full
+        k-channel pipeline, so S_r = (weighted) k or 2k + Lm."""
+        k, lm = 8, 16
+        m = HotSpotLatencyModel(
+            k=k, message_length=lm, hotspot_fraction=0.2, trip_averaging=False
+        )
+        res = m.evaluate(0.0)
+        p = m.probabilities
+        # y-only classes: k + Lm; x-only: k + Lm; x->y: 2k + Lm.
+        s_r = (
+            (p.p_hot_y_only + p.p_nonhot_y_only) * (k + lm)
+            + p.p_enter_x * p.p_x_only_given_x * (k + lm)
+            + p.p_enter_x
+            * (p.p_x_to_hot_given_x + p.p_x_to_nonhot_given_x)
+            * (2 * k + lm)
+        )
+        # Hot classes at zero load: from hot ring distance j: j + Lm;
+        # from (j, t): j + t(+0 if t=k) + Lm.
+        n = k * k
+        s_h_y = sum(j + lm for j in range(1, k)) / (n - 1)
+        s_h_x = sum(
+            j + (t if t < k else 0) + lm
+            for j in range(1, k)
+            for t in range(1, k + 1)
+        ) / (n - 1)
+        expected = 0.8 * s_r + 0.2 * (s_h_y + s_h_x)
+        assert res.latency == pytest.approx(expected)
+
+    def test_trip_averaging_lowers_zero_load_latency(self):
+        lit = HotSpotLatencyModel(
+            k=16, message_length=32, hotspot_fraction=0.2, trip_averaging=False
+        )
+        avg = HotSpotLatencyModel(
+            k=16, message_length=32, hotspot_fraction=0.2, trip_averaging=True
+        )
+        assert avg.evaluate(0.0).latency < lit.evaluate(0.0).latency
+
+
+class TestLoadBehaviour:
+    def test_latency_monotone_in_rate(self, model16):
+        rates = [0.00005, 0.0001, 0.0002, 0.0003, 0.0004, 0.0005]
+        lats = [model16.evaluate(r).latency for r in rates]
+        assert all(a < b for a, b in zip(lats, lats[1:]))
+
+    def test_saturation_flag(self, model16):
+        assert model16.evaluate(0.001).saturated
+        assert model16.evaluate(0.001).latency == math.inf
+
+    def test_saturation_rate_bisection(self, model16):
+        sat = model16.saturation_rate(hi=0.01)
+        assert not model16.evaluate(sat * 0.98).saturated
+        assert model16.evaluate(sat * 1.02).saturated
+
+    def test_saturation_decreases_with_h(self):
+        sats = []
+        for h in (0.2, 0.4, 0.7):
+            m = HotSpotLatencyModel(k=16, message_length=32, hotspot_fraction=h)
+            sats.append(m.saturation_rate(hi=0.01))
+        assert sats[0] > sats[1] > sats[2]
+
+    def test_saturation_decreases_with_message_length(self):
+        m32 = HotSpotLatencyModel(k=16, message_length=32, hotspot_fraction=0.4)
+        m100 = HotSpotLatencyModel(k=16, message_length=100, hotspot_fraction=0.4)
+        assert m32.saturation_rate(hi=0.01) > m100.saturation_rate(hi=0.01)
+
+    def test_saturation_near_bandwidth_bound(self):
+        """Saturation must sit near the hot-sink bandwidth limit
+        lam*h*k(k-1)*(Lm+1) = 1 (the regular share shifts it slightly
+        lower)."""
+        k, lm, h = 16, 32, 0.4
+        m = HotSpotLatencyModel(k=k, message_length=lm, hotspot_fraction=h)
+        bound = 1.0 / (h * k * (k - 1) * (lm + 1))
+        sat = m.saturation_rate(hi=0.01)
+        assert 0.5 * bound < sat < bound
+
+    def test_max_utilization_approaches_one_at_saturation(self, model16):
+        sat = model16.saturation_rate(hi=0.01)
+        res = model16.evaluate(sat * 0.99)
+        assert res.max_utilization == pytest.approx(1.0, abs=0.05)
+
+    def test_multiplexing_degrees_bounded(self, model16):
+        res = model16.evaluate(0.0004)
+        for v in (
+            res.mean_multiplexing_x,
+            res.mean_multiplexing_hot_ring,
+            res.mean_multiplexing_nonhot_ring,
+        ):
+            assert 1.0 <= v <= 2.0
+
+    def test_hot_ring_multiplexing_highest(self, model16):
+        res = model16.evaluate(0.0004)
+        assert res.mean_multiplexing_hot_ring >= res.mean_multiplexing_nonhot_ring
+
+
+class TestBreakdown:
+    def test_components_sum(self, model16):
+        res = model16.evaluate(0.0003)
+        b = res.breakdown
+        expected = 0.8 * b.regular_total + 0.2 * b.hot_total
+        assert res.latency == pytest.approx(expected)
+
+    def test_hot_messages_slower_than_regular(self, model16):
+        # Hot messages funnel into the congested ring: their mean
+        # latency exceeds the regular mean at moderate load.
+        res = model16.evaluate(0.0004)
+        assert res.breakdown.hot_total > res.breakdown.regular_total
+
+    def test_breakdown_none_when_saturated(self, model16):
+        assert model16.evaluate(0.01).breakdown is None
+
+
+class TestPolicies:
+    def test_policy_saturation_ordering(self):
+        """ENTRANCE (self-referential) saturates earliest, HOLDING next,
+        TRANSMISSION (bandwidth-only) last."""
+        sats = {}
+        for policy in BlockingServicePolicy:
+            m = HotSpotLatencyModel(
+                k=16,
+                message_length=32,
+                hotspot_fraction=0.2,
+                blocking_service=policy,
+            )
+            sats[policy] = m.saturation_rate(hi=0.01)
+        assert (
+            sats[BlockingServicePolicy.ENTRANCE]
+            <= sats[BlockingServicePolicy.HOLDING]
+            <= sats[BlockingServicePolicy.TRANSMISSION]
+        )
+
+    def test_policies_agree_at_light_load(self):
+        rate = 2e-5
+        lats = []
+        for policy in BlockingServicePolicy:
+            m = HotSpotLatencyModel(
+                k=16,
+                message_length=32,
+                hotspot_fraction=0.2,
+                blocking_service=policy,
+            )
+            lats.append(m.evaluate(rate).latency)
+        assert max(lats) - min(lats) < 0.05 * min(lats)
+
+
+class TestUniformConsistency:
+    def test_h_zero_matches_uniform_model(self):
+        """At h = 0 the hot-spot machinery must reduce to the uniform
+        baseline (same conventions)."""
+        k, lm = 8, 16
+        hot = HotSpotLatencyModel(
+            k=k,
+            message_length=lm,
+            hotspot_fraction=0.0,
+            blocking_service=BlockingServicePolicy.TRANSMISSION,
+        )
+        uni = UniformLatencyModel(k=k, n=2, message_length=lm)
+        for rate in (0.0, 0.0005, 0.001, 0.002):
+            a = hot.evaluate(rate).latency
+            b = uni.evaluate(rate).latency
+            assert a == pytest.approx(b, rel=0.05), rate
+
+
+class TestSweep:
+    def test_sweep_points(self, model16):
+        sweep = model16.sweep([1e-5, 1e-4, 1e-2], label="t")
+        assert sweep.label == "t"
+        assert [p.rate for p in sweep.points] == [1e-5, 1e-4, 1e-2]
+        assert sweep.points[-1].saturated
+        assert sweep.saturation_rate() == 1e-2
+        assert len(sweep.finite_points()) == 2

@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.equations import (
+    PathProbabilities,
+    chained_service_profile,
+    hot_y_service_profile,
+    regular_service_profile,
+)
+from repro.queueing.blocking import BlockingInputs, blocking_delay
+from repro.queueing.mg1 import mg1_waiting_time
+from repro.queueing.vc_multiplexing import (
+    multiplexing_degree,
+    vc_occupancy_probabilities,
+)
+from repro.simulator.router import RouteTable
+from repro.topology import DimensionOrderRouter, KAryNCube
+from repro.traffic.rates import ChannelRates, HotSpotRates
+
+small_k = st.integers(min_value=2, max_value=9)
+small_n = st.integers(min_value=1, max_value=4)
+
+
+class TestTopologyProperties:
+    @given(k=small_k, n=small_n, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_rank_unrank_roundtrip(self, k, n, data):
+        net = KAryNCube(k=k, n=n)
+        rank = data.draw(st.integers(0, net.num_nodes - 1))
+        assert net.rank(net.unrank(rank)) == rank
+
+    @given(k=small_k, n=small_n, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_route_reaches_destination(self, k, n, data):
+        net = KAryNCube(k=k, n=n)
+        s = data.draw(st.integers(0, net.num_nodes - 1))
+        d = data.draw(st.integers(0, net.num_nodes - 1))
+        assume(s != d)
+        router = DimensionOrderRouter(net)
+        src, dst = net.unrank(s), net.unrank(d)
+        route = router.route(src, dst)
+        cur = src
+        for hop in route.hops:
+            assert hop.channel.src == cur
+            cur = net.channel_dst(hop.channel)
+        assert cur == dst
+        # Route length is bounded by the diameter and matches distance.
+        assert route.num_hops == net.distance(src, dst) <= net.diameter
+
+    @given(k=st.integers(2, 6), n=st.integers(1, 3), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_route_table_consistent_with_router(self, k, n, data):
+        net = KAryNCube(k=k, n=n)
+        s = data.draw(st.integers(0, net.num_nodes - 1))
+        d = data.draw(st.integers(0, net.num_nodes - 1))
+        assume(s != d)
+        table = RouteTable(net)
+        channels, classes = table.route(s, d)
+        ref = DimensionOrderRouter(net).route(net.unrank(s), net.unrank(d))
+        assert len(channels) == ref.num_hops
+        assert classes == [h.vc_class for h in ref.hops]
+
+    @given(k=small_k, n=small_n)
+    @settings(max_examples=40, deadline=None)
+    def test_dateline_classes_monotone(self, k, n):
+        net = KAryNCube(k=k, n=n)
+        router = DimensionOrderRouter(net)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            s, d = rng.integers(0, net.num_nodes, size=2)
+            if s == d:
+                continue
+            route = router.route(net.unrank(int(s)), net.unrank(int(d)))
+            for dim in range(n):
+                classes = [h.vc_class for h in route.hops if h.channel.dim == dim]
+                assert classes == sorted(classes)
+
+
+class TestQueueingProperties:
+    @given(
+        lam=st.floats(0, 0.05),
+        s=st.floats(1, 200),
+        lm=st.floats(1, 128),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_mg1_nonnegative(self, lam, s, lm):
+        w = mg1_waiting_time(lam, s, lm)
+        assert w >= 0.0
+
+    @given(
+        lam1=st.floats(0.0, 0.01),
+        lam2=st.floats(0.0, 0.01),
+        s=st.floats(1, 90),
+        lm=st.floats(1, 64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_mg1_monotone_in_rate(self, lam1, lam2, s, lm):
+        lo, hi = sorted((lam1, lam2))
+        assert mg1_waiting_time(lo, s, lm) <= mg1_waiting_time(hi, s, lm)
+
+    @given(
+        lam=st.floats(0, 0.02),
+        gam=st.floats(0, 0.02),
+        s_lam=st.floats(0, 40),
+        s_gam=st.floats(0, 40),
+        lm=st.floats(1, 64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_blocking_nonnegative_and_saturating(self, lam, gam, s_lam, s_gam, lm):
+        b = blocking_delay(BlockingInputs(lam, gam, s_lam, s_gam), lm)
+        util = lam * s_lam + gam * s_gam
+        if util >= 1.0 and lam + gam > 0:
+            assert b == math.inf
+        else:
+            assert b >= 0.0
+            assert math.isfinite(b)
+
+    @given(
+        lam=st.floats(0, 0.1),
+        s=st.floats(0, 100),
+        v=st.integers(1, 8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_vc_probabilities_normalised(self, lam, s, v):
+        p = vc_occupancy_probabilities(lam, s, v)
+        assert p.shape == (v + 1,)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= -1e-15)
+
+    @given(lam=st.floats(0, 0.1), s=st.floats(0, 100), v=st.integers(1, 8))
+    @settings(max_examples=200, deadline=None)
+    def test_multiplexing_degree_bounds(self, lam, s, v):
+        d = multiplexing_degree(lam, s, v)
+        assert 1.0 - 1e-12 <= d <= v + 1e-12
+
+
+class TestEquationProperties:
+    @given(k=st.integers(3, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_path_probabilities_sum_to_one(self, k):
+        assert PathProbabilities(k=k).total() == pytest.approx(1.0)
+
+    @given(
+        k=st.integers(2, 32),
+        b=st.floats(0, 100),
+        lm=st.floats(1, 128),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_regular_profile_monotone_in_j(self, k, b, lm):
+        prof = regular_service_profile(k, b, lm)
+        assert np.all(np.diff(prof) > 0)
+        assert prof[0] == pytest.approx(1 + b + lm)
+
+    @given(
+        k=st.integers(2, 32),
+        b=st.floats(0, 100),
+        entry=st.floats(0, 1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_chained_profile_exceeds_entry(self, k, b, entry):
+        prof = chained_service_profile(k, b, entry)
+        assert np.all(prof > entry)
+
+    @given(k=st.integers(3, 20), lm=st.floats(1, 64), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_hot_profile_monotone_with_any_blocking(self, k, lm, data):
+        b = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(0, 50), min_size=k - 1, max_size=k - 1
+                )
+            )
+        )
+        prof = hot_y_service_profile(k, b, lm)
+        assert np.all(np.diff(prof) > 0)  # farther sources wait longer
+
+
+class TestRateProperties:
+    @given(
+        k=st.integers(2, 32),
+        rate=st.floats(0, 0.01),
+        h=st.floats(0, 1),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_hot_rates_decrease_with_distance(self, k, rate, h):
+        hr = HotSpotRates(k=k, rate=rate, hotspot_fraction=h)
+        xs = hr.hot_rates_x()
+        ys = hr.hot_rates_y()
+        assert np.all(np.diff(xs) <= 0) and np.all(np.diff(ys) <= 0)
+        assert xs[-1] == 0.0 and ys[-1] == 0.0
+        assert np.all(ys >= xs)  # the ring concentrates k rows
+
+    @given(
+        k=st.integers(2, 32),
+        n=st.integers(1, 4),
+        rate=st.floats(0, 0.01),
+        h=st.floats(0, 1),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_regular_rate_scaling(self, k, n, rate, h):
+        cr = ChannelRates(k=k, n=n, rate=rate, hotspot_fraction=h)
+        assert cr.regular_rate == pytest.approx(rate * (1 - h) * (k - 1) / 2)
+        assert cr.regular_rate <= rate * (k - 1) / 2 + 1e-12

@@ -1,0 +1,179 @@
+"""Tests for repro.traffic.rates — the closed forms of eqs 1-9 are proved
+against exact route enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.topology import Channel, KAryNCube
+from repro.traffic.patterns import HotSpotPattern, UniformPattern
+from repro.traffic.rates import ChannelRates, HotSpotRates, empirical_channel_rates
+
+
+class TestChannelRates:
+    def test_eq1_mean_hops(self):
+        assert ChannelRates(k=16, n=2, rate=1.0, hotspot_fraction=0.0).mean_hops_per_dimension == 7.5
+
+    def test_eq2_mean_message_hops(self):
+        cr = ChannelRates(k=8, n=3, rate=1.0, hotspot_fraction=0.0)
+        assert cr.mean_message_hops == pytest.approx(3 * 3.5)
+
+    def test_eq3_regular_rate(self):
+        cr = ChannelRates(k=16, n=2, rate=0.001, hotspot_fraction=0.2)
+        assert cr.regular_rate == pytest.approx(0.001 * 0.8 * 7.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(k=1, n=2, rate=0.1, hotspot_fraction=0.1),
+            dict(k=4, n=0, rate=0.1, hotspot_fraction=0.1),
+            dict(k=4, n=2, rate=-0.1, hotspot_fraction=0.1),
+            dict(k=4, n=2, rate=0.1, hotspot_fraction=1.2),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ChannelRates(**kwargs)
+
+
+class TestHotSpotRates:
+    def test_eq4_eq5_fractions(self):
+        hr = HotSpotRates(k=4, rate=0.1, hotspot_fraction=0.5)
+        assert hr.p_hx(1) == pytest.approx(3 / 16)
+        assert hr.p_hx(4) == 0.0
+        assert hr.p_hy(1) == pytest.approx(12 / 16)
+        assert hr.p_hy(4) == 0.0
+
+    def test_eq6_eq7_rates(self):
+        lam, h, k = 0.01, 0.3, 8
+        hr = HotSpotRates(k=k, rate=lam, hotspot_fraction=h)
+        for j in range(1, k + 1):
+            assert hr.hot_rate_x(j) == pytest.approx(lam * h * (k - j))
+            assert hr.hot_rate_y(j) == pytest.approx(lam * h * k * (k - j))
+
+    def test_eq8_eq9_totals(self):
+        hr = HotSpotRates(k=8, rate=0.01, hotspot_fraction=0.3)
+        assert hr.total_rate_x(2) == pytest.approx(
+            hr.channel.regular_rate + hr.hot_rate_x(2)
+        )
+        assert hr.total_rate_y(2) == pytest.approx(
+            hr.channel.regular_rate + hr.hot_rate_y(2)
+        )
+
+    def test_j_range_checked(self):
+        hr = HotSpotRates(k=8, rate=0.01, hotspot_fraction=0.3)
+        with pytest.raises(ValueError):
+            hr.p_hx(0)
+        with pytest.raises(ValueError):
+            hr.hot_rate_y(9)
+
+    def test_vector_forms(self):
+        hr = HotSpotRates(k=5, rate=0.02, hotspot_fraction=0.4)
+        assert np.allclose(
+            hr.hot_rates_x(), [hr.hot_rate_x(j) for j in range(1, 6)]
+        )
+        assert np.allclose(
+            hr.hot_rates_y(), [hr.hot_rate_y(j) for j in range(1, 6)]
+        )
+
+    def test_hot_traffic_conservation(self):
+        # Total hot y-traversals = lam*h*k * sum_t t for rows at distance
+        # t = 1..k-1 (each row's k sources cross t hot-ring channels).
+        k, lam, h = 6, 0.05, 0.5
+        hr = HotSpotRates(k=k, rate=lam, hotspot_fraction=h)
+        expected = lam * h * k * sum(range(1, k))
+        assert hr.total_hot_y_traversals() == pytest.approx(expected)
+
+    def test_total_hot_generated(self):
+        hr = HotSpotRates(k=4, rate=0.1, hotspot_fraction=0.25)
+        assert hr.total_hot_traffic_generated() == pytest.approx(15 * 0.1 * 0.25)
+
+
+class TestEmpiricalCrossCheck:
+    """Prove the closed forms against exact route enumeration."""
+
+    def test_uniform_rates_match_eq3(self):
+        net = KAryNCube(k=5, n=2)
+        lam = 0.01
+        rates = empirical_channel_rates(net, lam, UniformPattern(net))
+        # Uniform traffic: every channel carries lam * k-bar * N/(N-1)
+        # (the closed form eq 3 normalises over N destinations, the
+        # pattern over N-1; both are asserted here).
+        n_nodes = net.num_nodes
+        expected = lam * (net.k - 1) / 2 * n_nodes / (n_nodes - 1)
+        for ch, r in rates.items():
+            assert r == pytest.approx(expected), ch
+
+    def test_hotspot_y_rates_match_eq7(self):
+        """Hot-ring channel loads equal eq (7) plus the two terms the
+        paper's closed form neglects: the uniform background and the hot
+        node's own (full-rate uniform) traffic."""
+        k, lam, h = 5, 0.01, 0.6
+        net = KAryNCube(k=k, n=2)
+        pattern = HotSpotPattern(net, h, hotspot_node=(0, 0))
+        rates = empirical_channel_rates(net, lam, pattern)
+        n_nodes = net.num_nodes
+        uniform_bg = lam * (1 - h) * (k - 1) / 2 * n_nodes / (n_nodes - 1)
+        for j in range(1, k + 1):
+            # Channel j hops from the hot node leaves node (0, k-j).
+            ch = Channel(src=(0, (0 - j) % k), dim=1)
+            hot_spike = lam * h * k * (k - j)  # eq (7)
+            # Hot node surplus: its y-only messages to (0, dy) with
+            # dy > k-j cross this channel; it sends at full rate lam
+            # uniformly, i.e. lam*h/(N-1) above the background per dest.
+            hot_node_surplus = lam * h * (j - 1) / (n_nodes - 1)
+            expected = uniform_bg + hot_spike + hot_node_surplus
+            assert rates[ch] == pytest.approx(expected), j
+
+    def test_hotspot_x_rates_match_eq6(self):
+        k, lam, h = 5, 0.01, 0.6
+        net = KAryNCube(k=k, n=2)
+        pattern = HotSpotPattern(net, h, hotspot_node=(0, 0))
+        rates = empirical_channel_rates(net, lam, pattern)
+        n_nodes = net.num_nodes
+        uniform_bg = lam * (1 - h) * (k - 1) / 2 * n_nodes / (n_nodes - 1)
+        for j in range(1, k + 1):
+            for row in range(k):
+                ch = Channel(src=((0 - j) % k, row), dim=0)
+                hot_spike = lam * h * (k - j)  # eq (6)
+                # Hot node surplus appears only on its own row's x
+                # channels: dests with dx > k-j, any dy.
+                surplus = (
+                    lam * h * k * (j - 1) / (n_nodes - 1) if row == 0 else 0.0
+                )
+                expected = uniform_bg + hot_spike + surplus
+                assert rates[ch] == pytest.approx(expected), (j, row)
+
+    def test_hot_node_outgoing_carries_no_hot_traffic(self):
+        """The hot node's outgoing y channel carries only uniform
+        traffic (plus the hot node's own surplus) — eq (5) gives zero
+        hot traffic at j = k."""
+        k, lam, h = 4, 0.01, 0.9
+        net = KAryNCube(k=k, n=2)
+        pattern = HotSpotPattern(net, h, hotspot_node=(0, 0))
+        rates = empirical_channel_rates(net, lam, pattern)
+        n_nodes = net.num_nodes
+        uniform_bg = lam * (1 - h) * (k - 1) / 2 * n_nodes / (n_nodes - 1)
+        surplus = lam * h * (k - 1) / (n_nodes - 1)
+        got = rates[Channel(src=(0, 0), dim=1)]
+        assert got == pytest.approx(uniform_bg + surplus)
+
+    def test_total_traffic_conserved(self):
+        # Sum of channel rates == rate * mean route length, exactly.
+        net = KAryNCube(k=4, n=2)
+        lam = 0.02
+        pattern = HotSpotPattern(net, 0.5, hotspot_node=(1, 2))
+        rates = empirical_channel_rates(net, lam, pattern)
+        total = sum(rates.values())
+        # Expected: sum over (s,d) pairs of lam * P(d|s) * hops(s,d)
+        from repro.topology.routing import DimensionOrderRouter
+
+        router = DimensionOrderRouter(net)
+        expected = 0.0
+        for s in range(net.num_nodes):
+            probs = pattern.destination_probabilities(s)
+            for d in range(net.num_nodes):
+                if probs[d]:
+                    expected += lam * probs[d] * router.hop_count(
+                        net.unrank(s), net.unrank(d)
+                    )
+        assert total == pytest.approx(expected)

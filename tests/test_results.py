@@ -1,0 +1,67 @@
+"""Tests for the result dataclasses (repro.core.results)."""
+
+import math
+
+import pytest
+
+from repro.core.results import (
+    LatencyBreakdown,
+    ModelResult,
+    SweepPoint,
+    SweepResult,
+)
+
+
+class TestLatencyBreakdown:
+    def test_totals(self):
+        b = LatencyBreakdown(
+            regular_hot_ring=1.0,
+            regular_nonhot_ring=2.0,
+            regular_enter_x=3.0,
+            hot_from_hot_ring=4.0,
+            hot_from_x=5.0,
+            regular_source_wait=0.5,
+            regular_network_latency=6.0,
+        )
+        assert b.regular_total == pytest.approx(6.0)
+        assert b.hot_total == pytest.approx(9.0)
+
+
+class TestModelResult:
+    def test_finite_flags(self):
+        ok = ModelResult(rate=1e-4, latency=50.0, saturated=False, iterations=3)
+        assert ok.finite
+        sat = ModelResult(rate=1e-2, latency=math.inf, saturated=True, iterations=1)
+        assert not sat.finite
+
+    def test_nan_latency_not_finite(self):
+        weird = ModelResult(rate=0.0, latency=math.nan, saturated=False, iterations=0)
+        assert not weird.finite
+
+
+class TestSweepResult:
+    def _sweep(self):
+        return SweepResult(
+            label="s",
+            points=[
+                SweepPoint(1e-4, 10.0, False),
+                SweepPoint(2e-4, 20.0, False),
+                SweepPoint(3e-4, math.inf, True),
+                SweepPoint(4e-4, math.inf, True),
+            ],
+        )
+
+    def test_accessors(self):
+        s = self._sweep()
+        assert s.rates == [1e-4, 2e-4, 3e-4, 4e-4]
+        assert s.latencies[:2] == [10.0, 20.0]
+
+    def test_finite_points(self):
+        assert len(self._sweep().finite_points()) == 2
+
+    def test_saturation_rate_first_saturated(self):
+        assert self._sweep().saturation_rate() == 3e-4
+
+    def test_no_saturation(self):
+        s = SweepResult(label="s", points=[SweepPoint(1e-4, 10.0, False)])
+        assert s.saturation_rate() is None

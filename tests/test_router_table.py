@@ -1,0 +1,99 @@
+"""Unit tests for repro.simulator.router (rank-level route tables)."""
+
+import itertools
+
+import pytest
+
+from repro.simulator.router import RouteTable
+from repro.topology import DimensionOrderRouter, KAryNCube
+
+
+@pytest.fixture
+def net():
+    return KAryNCube(k=4, n=2)
+
+
+@pytest.fixture
+def table(net):
+    return RouteTable(net)
+
+
+class TestChannelIds:
+    def test_dense_and_invertible(self, net, table):
+        seen = set()
+        for rank in range(net.num_nodes):
+            for dim in range(net.n):
+                cid = table.channel_id(rank, dim)
+                assert 0 <= cid < table.num_channels
+                assert table.channel_owner(cid) == (rank, dim, +1)
+                seen.add(cid)
+        assert len(seen) == table.num_channels
+
+    def test_bidirectional_ids_dense(self):
+        net = KAryNCube(k=4, n=2, bidirectional=True)
+        table = RouteTable(net)
+        seen = set()
+        for rank in range(net.num_nodes):
+            for dim in range(net.n):
+                for direction in (+1, -1):
+                    cid = table.channel_id(rank, dim, direction)
+                    assert table.channel_owner(cid) == (rank, dim, direction)
+                    seen.add(cid)
+        assert len(seen) == table.num_channels == 16 * 2 * 2
+
+    def test_negative_direction_rejected_unidirectional(self, table):
+        with pytest.raises(ValueError):
+            table.channel_id(0, 0, -1)
+
+    def test_bidirectional_routes_minimal(self):
+        net = KAryNCube(k=8, n=2, bidirectional=True)
+        table = RouteTable(net)
+        from repro.topology import DimensionOrderRouter
+
+        router = DimensionOrderRouter(net)
+        for s in range(0, 64, 7):
+            for d in range(0, 64, 5):
+                if s == d:
+                    continue
+                channels, classes = table.route(s, d)
+                ref = router.route(net.unrank(s), net.unrank(d))
+                assert len(channels) == ref.num_hops
+                assert classes == [h.vc_class for h in ref.hops]
+
+
+class TestRoutes:
+    def test_matches_coordinate_router(self, net, table):
+        router = DimensionOrderRouter(net)
+        for s, d in itertools.product(range(net.num_nodes), repeat=2):
+            if s == d:
+                continue
+            channels, classes = table.route(s, d)
+            ref = router.route(net.unrank(s), net.unrank(d))
+            ref_channels = [
+                table.channel_id(net.rank(h.channel.src), h.channel.dim)
+                for h in ref.hops
+            ]
+            ref_classes = [h.vc_class for h in ref.hops]
+            assert channels == ref_channels, (s, d)
+            assert classes == ref_classes, (s, d)
+
+    def test_self_route_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.route(3, 3)
+
+    def test_cache_returns_same_object(self, table):
+        a = table.route(0, 5)
+        b = table.route(0, 5)
+        assert a is b
+
+    def test_three_dimensional(self):
+        net = KAryNCube(k=3, n=3)
+        table = RouteTable(net)
+        router = DimensionOrderRouter(net)
+        for s, d in itertools.product(range(27), repeat=2):
+            if s == d:
+                continue
+            channels, classes = table.route(s, d)
+            ref = router.route(net.unrank(s), net.unrank(d))
+            assert len(channels) == ref.num_hops
+            assert classes == [h.vc_class for h in ref.hops]

@@ -1,0 +1,114 @@
+"""Integration: the analytical model must track the flit-level simulator.
+
+These are the library's own miniature versions of the paper's Figures 1-2
+validation, on a smaller network (8x8, Lm=16) so they run in CI time.
+The full-size panels live in benchmarks/.
+"""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.core.model import HotSpotLatencyModel
+from repro.core.uniform import UniformLatencyModel
+from repro.simulator import Simulation, SimulationConfig
+
+K, LM, H = 8, 16, 0.3
+BASE = SimulationConfig(
+    k=K,
+    n=2,
+    message_length=LM,
+    rate=1e-3,
+    hotspot_fraction=H,
+    warmup_cycles=3_000,
+    measure_cycles=60_000,
+    seed=101,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return HotSpotLatencyModel(
+        k=K, message_length=LM, hotspot_fraction=H, trip_averaging=True
+    )
+
+
+@pytest.fixture(scope="module")
+def model_sat(model):
+    return model.saturation_rate(hi=0.1)
+
+
+class TestLightLoadAgreement:
+    @pytest.mark.parametrize("frac", [0.2, 0.45])
+    def test_latency_within_30_percent(self, model, model_sat, frac):
+        """Paper: 'reasonable degree of accuracy in the light and
+        moderate load regions'.  We hold ourselves to 30% there."""
+        rate = model_sat * frac
+        sim = Simulation(replace(BASE, rate=rate)).run()
+        assert not sim.saturated
+        got = model.evaluate(rate).latency
+        assert got == pytest.approx(sim.mean_latency, rel=0.30)
+
+    def test_zero_ish_load_agreement(self, model):
+        rate = 2e-4
+        sim = Simulation(replace(BASE, rate=rate)).run()
+        got = model.evaluate(rate).latency
+        assert got == pytest.approx(sim.mean_latency, rel=0.15)
+
+
+class TestSaturationAgreement:
+    def test_saturation_knees_within_factor(self, model, model_sat):
+        """The model's saturation point must bracket the simulator's
+        within [0.6, 1.4] — 'who saturates, by roughly what factor'."""
+        # Simulator saturation via coarse scan.
+        sim_sat = None
+        for frac in (0.7, 0.85, 1.0, 1.15, 1.3, 1.45):
+            res = Simulation(
+                replace(BASE, rate=model_sat * frac, measure_cycles=40_000)
+            ).run()
+            if res.saturated:
+                sim_sat = model_sat * frac
+                break
+        assert sim_sat is not None, "simulator never saturated in the scan"
+        assert 0.6 <= model_sat / sim_sat <= 1.4
+
+    def test_latency_blows_up_near_saturation_in_both(self, model, model_sat):
+        rate = model_sat * 0.9
+        sim = Simulation(replace(BASE, rate=rate)).run()
+        low = Simulation(replace(BASE, rate=model_sat * 0.2)).run()
+        assert sim.mean_latency > 1.5 * low.mean_latency
+        assert model.evaluate(rate).latency > 1.5 * model.evaluate(
+            model_sat * 0.2
+        ).latency
+
+
+class TestHotSpotOrdering:
+    def test_hot_fraction_ordering_matches(self):
+        """Higher h saturates earlier in both model and simulator."""
+        sim_lat = {}
+        for h in (0.1, 0.5):
+            cfg = replace(BASE, hotspot_fraction=h, rate=8e-4)
+            sim_lat[h] = Simulation(cfg).run().mean_latency
+        assert sim_lat[0.5] > sim_lat[0.1]
+        mdl_lat = {
+            h: HotSpotLatencyModel(
+                k=K, message_length=LM, hotspot_fraction=h, trip_averaging=True
+            )
+            .evaluate(8e-4)
+            .latency
+            for h in (0.1, 0.5)
+        }
+        assert mdl_lat[0.5] > mdl_lat[0.1]
+
+    def test_uniform_baseline_tracks_h0_simulation(self):
+        rate = 2e-3
+        sim = Simulation(
+            replace(BASE, hotspot_fraction=0.0, rate=rate)
+        ).run()
+        uni = UniformLatencyModel(
+            k=K, n=2, message_length=LM, trip_averaging=True
+        )
+        assert uni.evaluate(rate).latency == pytest.approx(
+            sim.mean_latency, rel=0.30
+        )

@@ -1,0 +1,103 @@
+"""Unit tests for repro.simulator.stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulator.stats import BatchMeans, LatencyStats
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        s = LatencyStats()
+        assert s.count == 0
+        assert math.isnan(s.mean)
+        assert math.isnan(s.variance)
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.exponential(50, size=500)
+        s = LatencyStats()
+        for x in data:
+            s.record(float(x))
+        assert s.mean == pytest.approx(float(np.mean(data)))
+        assert s.variance == pytest.approx(float(np.var(data, ddof=1)))
+        assert s.min == pytest.approx(float(data.min()))
+        assert s.max == pytest.approx(float(data.max()))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats().record(-1.0)
+
+    def test_hops_accumulate(self):
+        s = LatencyStats()
+        s.record(10, hops=3)
+        s.record(20, hops=5)
+        assert s.mean_hops == pytest.approx(4.0)
+
+    def test_merge_equals_sequential(self):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(1, 100, size=300)
+        whole = LatencyStats()
+        for x in data:
+            whole.record(float(x))
+        a, b = LatencyStats(), LatencyStats()
+        for x in data[:120]:
+            a.record(float(x))
+        for x in data[120:]:
+            b.record(float(x))
+        a.merge(b)
+        assert a.count == whole.count
+        assert a.mean == pytest.approx(whole.mean)
+        assert a.variance == pytest.approx(whole.variance)
+
+    def test_merge_with_empty(self):
+        a = LatencyStats()
+        b = LatencyStats()
+        b.record(5.0)
+        a.merge(b)
+        assert a.count == 1 and a.mean == 5.0
+        b.merge(LatencyStats())
+        assert b.count == 1
+
+
+class TestBatchMeans:
+    def test_batches_formed(self):
+        bm = BatchMeans(batch_size=10)
+        for i in range(35):
+            bm.record(float(i))
+        assert bm.num_batches == 3
+        assert bm.batch_averages[0] == pytest.approx(4.5)
+
+    def test_ci_requires_two_batches(self):
+        bm = BatchMeans(batch_size=10)
+        for i in range(10):
+            bm.record(1.0)
+        assert bm.confidence_interval() is None
+
+    def test_ci_zero_for_constant_data(self):
+        bm = BatchMeans(batch_size=5)
+        for _ in range(25):
+            bm.record(42.0)
+        assert bm.mean() == 42.0
+        assert bm.confidence_interval() == pytest.approx(0.0)
+
+    def test_ci_covers_true_mean(self):
+        rng = np.random.default_rng(3)
+        bm = BatchMeans(batch_size=100)
+        for x in rng.exponential(10.0, size=10_000):
+            bm.record(float(x))
+        ci = bm.confidence_interval(0.95)
+        assert ci is not None
+        assert abs(bm.mean() - 10.0) < 3 * ci  # generous but meaningful
+
+    def test_relative_half_width(self):
+        bm = BatchMeans(batch_size=5)
+        for _ in range(25):
+            bm.record(10.0)
+        assert bm.relative_half_width() == pytest.approx(0.0)
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            BatchMeans(batch_size=0)

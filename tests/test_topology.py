@@ -1,0 +1,183 @@
+"""Unit tests for repro.topology.kary_ncube."""
+
+import pytest
+
+from repro.topology import Channel, KAryNCube
+
+
+class TestConstruction:
+    def test_basic_sizes(self):
+        net = KAryNCube(k=16, n=2)
+        assert net.num_nodes == 256
+        assert net.num_channels == 512
+
+    def test_hypercube_special_case(self):
+        net = KAryNCube(k=2, n=4)
+        assert net.num_nodes == 16
+        assert net.num_channels == 64
+
+    def test_bidirectional_doubles_channels(self):
+        uni = KAryNCube(k=4, n=3)
+        bi = KAryNCube(k=4, n=3, bidirectional=True)
+        assert bi.num_channels == 2 * uni.num_channels
+
+    @pytest.mark.parametrize("k,n", [(1, 2), (0, 1), (4, 0), (3, -1)])
+    def test_invalid_parameters_rejected(self, k, n):
+        with pytest.raises(ValueError):
+            KAryNCube(k=k, n=n)
+
+    def test_equality_and_hash(self):
+        assert KAryNCube(4, 2) == KAryNCube(4, 2)
+        assert KAryNCube(4, 2) != KAryNCube(4, 3)
+        assert KAryNCube(4, 2) != KAryNCube(4, 2, bidirectional=True)
+        assert hash(KAryNCube(4, 2)) == hash(KAryNCube(4, 2))
+
+
+class TestAddressing:
+    def test_rank_unrank_roundtrip(self):
+        net = KAryNCube(k=5, n=3)
+        for r in range(net.num_nodes):
+            assert net.rank(net.unrank(r)) == r
+
+    def test_rank_order_matches_iteration(self):
+        net = KAryNCube(k=3, n=2)
+        for i, node in enumerate(net.nodes()):
+            assert net.rank(node) == i
+
+    def test_rank_most_significant_first(self):
+        net = KAryNCube(k=10, n=2)
+        assert net.rank((3, 7)) == 37
+
+    def test_rank_rejects_bad_node(self):
+        net = KAryNCube(k=4, n=2)
+        with pytest.raises(ValueError):
+            net.rank((4, 0))
+        with pytest.raises(ValueError):
+            net.rank((0, 0, 0))
+
+    def test_unrank_range_checked(self):
+        net = KAryNCube(k=4, n=2)
+        with pytest.raises(ValueError):
+            net.unrank(16)
+        with pytest.raises(ValueError):
+            net.unrank(-1)
+
+
+class TestNeighbors:
+    def test_positive_neighbor(self):
+        net = KAryNCube(k=4, n=2)
+        assert net.neighbor((1, 2), dim=0) == (2, 2)
+        assert net.neighbor((1, 2), dim=1) == (1, 3)
+
+    def test_wraparound(self):
+        net = KAryNCube(k=4, n=2)
+        assert net.neighbor((3, 3), dim=0) == (0, 3)
+        assert net.neighbor((3, 3), dim=1) == (3, 0)
+
+    def test_negative_direction_requires_bidirectional(self):
+        uni = KAryNCube(k=4, n=2)
+        with pytest.raises(ValueError):
+            uni.neighbor((0, 0), dim=0, direction=-1)
+        bi = KAryNCube(k=4, n=2, bidirectional=True)
+        assert bi.neighbor((0, 0), dim=0, direction=-1) == (3, 0)
+
+    def test_invalid_direction(self):
+        net = KAryNCube(k=4, n=2, bidirectional=True)
+        with pytest.raises(ValueError):
+            net.neighbor((0, 0), dim=0, direction=2)
+
+    def test_invalid_dim(self):
+        net = KAryNCube(k=4, n=2)
+        with pytest.raises(ValueError):
+            net.neighbor((0, 0), dim=2)
+
+    def test_channel_dst(self):
+        net = KAryNCube(k=4, n=2)
+        ch = Channel(src=(3, 1), dim=0)
+        assert net.channel_dst(ch) == (0, 1)
+
+    def test_channel_enumeration_count(self):
+        net = KAryNCube(k=3, n=2)
+        channels = list(net.channels())
+        assert len(channels) == net.num_channels
+        assert len(set(channels)) == len(channels)
+
+
+class TestDistances:
+    def test_hops_to_unidirectional(self):
+        net = KAryNCube(k=8, n=2)
+        assert net.hops_to((1, 0), (5, 0), dim=0) == 4
+        assert net.hops_to((5, 0), (1, 0), dim=0) == 4  # wraps: 8 - 4
+        assert net.hops_to((2, 2), (2, 9 % 8), dim=1) == (1 - 2) % 8
+
+    def test_distance_is_sum_over_dims(self):
+        net = KAryNCube(k=5, n=3)
+        assert net.distance((0, 0, 0), (2, 4, 1)) == 2 + 4 + 1
+
+    def test_mean_hops_per_dimension_eq1(self):
+        # Eq (1): k-bar = (k-1)/2 for the unidirectional ring.
+        for k in (3, 8, 16):
+            net = KAryNCube(k=k, n=2)
+            assert net.mean_hops_per_dimension == pytest.approx((k - 1) / 2)
+
+    def test_mean_message_hops_eq2(self):
+        net = KAryNCube(k=16, n=2)
+        assert net.mean_message_hops == pytest.approx(15.0)
+
+    def test_mean_hops_matches_enumeration(self):
+        # k-bar is the mean of the per-dimension displacement over a
+        # uniform destination choice (0 allowed).
+        net = KAryNCube(k=7, n=2)
+        displacements = [(d - 0) % 7 for d in range(7)]
+        assert net.mean_hops_per_dimension == pytest.approx(
+            sum(displacements) / 7
+        )
+
+    def test_diameter(self):
+        assert KAryNCube(k=16, n=2).diameter == 30
+        assert KAryNCube(k=16, n=2, bidirectional=True).diameter == 16
+
+    def test_bidirectional_mean_hops(self):
+        net = KAryNCube(k=4, n=2, bidirectional=True)
+        # displacements 0,1,2,3 -> min distances 0,1,2,1
+        assert net.mean_hops_per_dimension == pytest.approx(4 / 4)
+
+
+class TestRings:
+    def test_ring_of_excludes_dim(self):
+        net = KAryNCube(k=4, n=3)
+        assert net.ring_of((1, 2, 3), dim=1) == (1, 3)
+
+    def test_ring_nodes(self):
+        net = KAryNCube(k=3, n=2)
+        nodes = list(net.ring_nodes((2,), dim=0))
+        assert nodes == [(0, 2), (1, 2), (2, 2)]
+
+    def test_ring_nodes_validates_id(self):
+        net = KAryNCube(k=3, n=2)
+        with pytest.raises(ValueError):
+            list(net.ring_nodes((1, 2), dim=0))
+
+    def test_is_in_hot_ring_2d(self):
+        net = KAryNCube(k=4, n=2)
+        hot = (1, 2)
+        # Hot y-ring (dim 1) = nodes sharing x coordinate 1.
+        assert net.is_in_hot_ring((1, 0), hot, dim=1)
+        assert not net.is_in_hot_ring((0, 2), hot, dim=1)
+
+    def test_channel_distance_convention(self):
+        # Paper: a channel is j hops away when its source node is j hops
+        # upstream; the hot node's own outgoing channel is k hops away.
+        net = KAryNCube(k=4, n=2)
+        hot = (0, 0)
+        ch = Channel(src=(0, 3), dim=1)  # one hop upstream of hot in y
+        assert net.channel_distance(ch, hot) == 1
+        ch_hot = Channel(src=(0, 0), dim=1)
+        assert net.channel_distance(ch_hot, hot) == 4
+
+    def test_ring_partition_covers_network(self):
+        net = KAryNCube(k=4, n=2)
+        seen = set()
+        for ring in range(4):
+            seen.update(net.ring_nodes((ring,), dim=0))
+        assert len(seen) == net.num_nodes

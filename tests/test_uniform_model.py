@@ -1,0 +1,87 @@
+"""Tests for the uniform-traffic baseline model (repro.core.uniform)."""
+
+import math
+
+import pytest
+
+from repro.core.uniform import UniformLatencyModel
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformLatencyModel(k=2, n=2, message_length=8)
+        with pytest.raises(ValueError):
+            UniformLatencyModel(k=8, n=0, message_length=8)
+        with pytest.raises(ValueError):
+            UniformLatencyModel(k=8, n=2, message_length=0)
+        with pytest.raises(ValueError):
+            UniformLatencyModel(k=8, n=2, message_length=8, num_vcs=1)
+
+    def test_zero_load_structure(self):
+        k, lm = 8, 16
+        m = UniformLatencyModel(k=k, n=2, message_length=lm, trip_averaging=False)
+        res = m.evaluate(0.0)
+        assert res.finite
+        # Literal convention: entry dim 0 (weight k/(k+1)) costs
+        # k + mix(continuation), entry dim 1 costs k + Lm.
+        assert res.latency > lm + k  # at least one full ring + drain
+        assert res.mean_multiplexing_x == 1.0
+        # Default (trip-averaged) mode charges the mean trip instead.
+        avg = UniformLatencyModel(k=k, n=2, message_length=lm).evaluate(0.0)
+        assert lm < avg.latency < res.latency
+
+    def test_monotone_in_rate(self):
+        m = UniformLatencyModel(k=8, n=2, message_length=16)
+        lats = [m.evaluate(r).latency for r in (0.0005, 0.001, 0.002, 0.004)]
+        assert all(a < b for a, b in zip(lats, lats[1:]))
+
+    def test_saturates(self):
+        m = UniformLatencyModel(k=8, n=2, message_length=16)
+        res = m.evaluate(0.05)
+        assert res.saturated and res.latency == math.inf
+
+    def test_saturation_near_bandwidth_bound(self):
+        """The model saturates below the pure bandwidth bound
+        lam*(k-1)/2*(Lm+1) = 1 (the source-queue term of eq 32 — whose
+        service time is the full network latency — gives out first) but
+        within a factor ~2 of it."""
+        k, lm = 8, 16
+        m = UniformLatencyModel(k=k, n=2, message_length=lm)
+        bound = 1.0 / ((k - 1) / 2 * (lm + 1))
+        assert not m.evaluate(bound * 0.5).saturated
+        assert m.evaluate(bound * 1.05).saturated
+
+    def test_dimension_count_raises_latency(self):
+        m2 = UniformLatencyModel(k=6, n=2, message_length=16)
+        m3 = UniformLatencyModel(k=6, n=3, message_length=16)
+        assert m3.evaluate(0.001).latency > m2.evaluate(0.001).latency
+
+    def test_trip_averaging_lowers_latency(self):
+        lit = UniformLatencyModel(k=8, n=2, message_length=16, trip_averaging=False)
+        avg = UniformLatencyModel(k=8, n=2, message_length=16, trip_averaging=True)
+        assert avg.evaluate(0.001).latency < lit.evaluate(0.001).latency
+
+    def test_sweep(self):
+        m = UniformLatencyModel(k=8, n=2, message_length=16)
+        sw = m.sweep([0.001, 0.05])
+        assert not sw.points[0].saturated
+        assert sw.points[1].saturated
+
+    def test_negative_rate_rejected(self):
+        m = UniformLatencyModel(k=8, n=2, message_length=16)
+        with pytest.raises(ValueError):
+            m.evaluate(-0.1)
+
+
+class TestPolicyVariants:
+    def test_holding_policy_more_conservative(self):
+        base = dict(k=8, n=2, message_length=16)
+        tx = UniformLatencyModel(**base, blocking_service="transmission")
+        hold = UniformLatencyModel(**base, blocking_service="holding")
+        rate = 0.004
+        a, b = tx.evaluate(rate), hold.evaluate(rate)
+        if not b.saturated:
+            assert b.latency >= a.latency
+        else:
+            assert not a.saturated or a.latency == math.inf

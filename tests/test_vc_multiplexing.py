@@ -1,0 +1,87 @@
+"""Unit tests for repro.queueing.vc_multiplexing (eqs 33-35)."""
+
+import numpy as np
+import pytest
+
+from repro.queueing.vc_multiplexing import (
+    mean_busy_vcs,
+    multiplexing_degree,
+    vc_occupancy_probabilities,
+)
+
+
+class TestOccupancy:
+    def test_probabilities_sum_to_one(self):
+        p = vc_occupancy_probabilities(0.01, 40.0, 3)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0)
+
+    def test_zero_load_all_idle(self):
+        p = vc_occupancy_probabilities(0.0, 40.0, 2)
+        assert p[0] == pytest.approx(1.0)
+
+    def test_saturated_pins_full(self):
+        p = vc_occupancy_probabilities(0.1, 20.0, 2)  # rho = 2
+        assert p[-1] == 1.0
+
+    def test_matches_eq33_recursion(self):
+        lam, s, V = 0.005, 50.0, 4
+        rho = lam * s
+        q = [1.0]
+        for v in range(1, V):
+            q.append(q[-1] * rho)
+        q.append(q[-1] * rho / (1 - rho))
+        q = np.array(q)
+        expected = q / q.sum()
+        assert np.allclose(vc_occupancy_probabilities(lam, s, V), expected)
+
+    def test_two_vcs_recursion(self):
+        # For V = 2 the chain is q = [1, rho/(1-rho)] -- the v=1 state is
+        # the capped one.
+        lam, s = 0.004, 50.0
+        rho = lam * s
+        p = vc_occupancy_probabilities(lam, s, 2)
+        q = np.array([1.0, rho, rho * rho / (1 - rho)])
+        assert np.allclose(p, q / q.sum())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vc_occupancy_probabilities(0.1, 1.0, 0)
+        with pytest.raises(ValueError):
+            vc_occupancy_probabilities(-0.1, 1.0, 2)
+        with pytest.raises(ValueError):
+            vc_occupancy_probabilities(0.1, -1.0, 2)
+
+
+class TestDegree:
+    def test_unity_at_zero_load(self):
+        assert multiplexing_degree(0.0, 40.0, 2) == 1.0
+
+    def test_equals_v_at_saturation(self):
+        assert multiplexing_degree(0.1, 20.0, 2) == pytest.approx(2.0)
+        assert multiplexing_degree(0.5, 20.0, 4) == pytest.approx(4.0)
+
+    def test_bounded_by_one_and_v(self):
+        for lam in (0.001, 0.005, 0.01, 0.018):
+            v_bar = multiplexing_degree(lam, 50.0, 3)
+            assert 1.0 <= v_bar <= 3.0
+
+    def test_monotone_in_load(self):
+        degrees = [multiplexing_degree(lam, 50.0, 2) for lam in
+                   (0.001, 0.004, 0.008, 0.012, 0.016, 0.019)]
+        assert degrees == sorted(degrees)
+
+    def test_eq35_by_hand(self):
+        lam, s, V = 0.006, 60.0, 2
+        p = vc_occupancy_probabilities(lam, s, V)
+        expected = (1 * p[1] + 4 * p[2]) / (1 * p[1] + 2 * p[2])
+        assert multiplexing_degree(lam, s, V) == pytest.approx(expected)
+
+
+class TestMeanBusy:
+    def test_increases_with_load(self):
+        busy = [mean_busy_vcs(lam, 50.0, 2) for lam in (0.001, 0.01, 0.019)]
+        assert busy == sorted(busy)
+
+    def test_saturated_all_busy(self):
+        assert mean_busy_vcs(1.0, 50.0, 3) == pytest.approx(3.0)

@@ -1,0 +1,72 @@
+"""Tests for the ASCII chart renderer (repro.viz)."""
+
+import math
+
+import pytest
+
+from repro.core.results import SweepPoint, SweepResult
+from repro.viz import ascii_plot, plot_sweeps
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        chart = ascii_plot({"m": [(0.0, 1.0), (1.0, 2.0), (2.0, 4.0)]})
+        assert "o" in chart
+        assert "latency (cycles)" in chart
+        assert "traffic (messages/cycle)" in chart
+
+    def test_marker_per_series(self):
+        chart = ascii_plot(
+            {"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 3)]}
+        )
+        assert "o a" in chart and "x b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_nonfinite_dropped(self):
+        chart = ascii_plot({"m": [(0.0, 1.0), (1.0, math.inf), (2.0, 3.0)]})
+        assert "(no finite" not in chart
+
+    def test_all_nonfinite(self):
+        chart = ascii_plot({"m": [(0.0, math.inf)]})
+        assert "no finite" in chart
+
+    def test_y_cap_clips(self):
+        capped = ascii_plot({"m": [(0, 10), (1, 1e6)]}, y_cap=100.0)
+        assert "100" in capped
+        assert "1e+06" not in capped
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"m": [(0, 1)]}, width=4)
+        with pytest.raises(ValueError):
+            ascii_plot({"m": [(0, 1)]}, height=2)
+
+    def test_constant_series(self):
+        chart = ascii_plot({"m": [(0.0, 5.0), (1.0, 5.0)]})
+        assert "o" in chart
+
+    def test_dimensions(self):
+        chart = ascii_plot({"m": [(0, 1), (1, 2)]}, width=40, height=10)
+        lines = chart.splitlines()
+        # header + height rows + axis + labels
+        assert len(lines) == 1 + 10 + 2
+
+
+class TestPlotSweeps:
+    def test_sweep_plot(self):
+        sweep = SweepResult(
+            label="model",
+            points=[
+                SweepPoint(1e-4, 50.0, False),
+                SweepPoint(2e-4, 80.0, False),
+                SweepPoint(3e-4, math.inf, True),
+            ],
+        )
+        chart = plot_sweeps([sweep])
+        assert "model" in chart
+
+    def test_two_sweeps(self):
+        a = SweepResult("model", [SweepPoint(1e-4, 50.0, False)])
+        b = SweepResult("sim", [SweepPoint(1e-4, 45.0, False)])
+        chart = plot_sweeps([a, b])
+        assert "model" in chart and "sim" in chart
