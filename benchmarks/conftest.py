@@ -1,16 +1,28 @@
 """Shared benchmark fixtures: results directory and table persistence.
 
 Each figure benchmark regenerates one panel of the paper (model +
-simulation series), times it with pytest-benchmark, writes the series
-table to ``benchmarks/results/<name>.txt`` and asserts the paper-shape
-properties.  Run with ``pytest benchmarks/ --benchmark-only``; set
-``REPRO_SIM_CYCLES`` to trade accuracy for time (default used by the
-benchmarks: 60 000 measured cycles per point).
+simulation series) through the sweep engine, times it with
+pytest-benchmark, writes the series table to
+``benchmarks/results/<name>.txt`` and asserts the paper-shape
+properties.  Run with ``pytest benchmarks/ --benchmark-only``.
+
+Environment knobs:
+
+* ``REPRO_SIM_CYCLES`` — measured cycles per simulation point (the
+  benchmarks default to 60 000); trade accuracy for time.
+* ``REPRO_JOBS`` — simulation worker processes per panel run (default
+  1, the sequential path).  Results are bit-identical across values;
+  only the wall-clock moves.
+
+The on-disk sweep cache is never used here — a benchmark that reads
+cached points would time the filesystem, not the simulator.
 """
 
 import pathlib
 
 import pytest
+
+from repro.experiments.sweep import sim_jobs as bench_jobs  # noqa: F401 (re-export)
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 

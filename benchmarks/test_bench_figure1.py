@@ -14,7 +14,7 @@ import math
 
 import pytest
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import bench_jobs, save_table
 from repro.experiments import format_panel_table, get_panel, run_panel, shape_metrics
 from repro.experiments.runner import sim_measure_cycles
 
@@ -26,7 +26,9 @@ def _run_and_check(benchmark, results_dir, panel_name):
     measure = sim_measure_cycles(60_000)
 
     result = benchmark.pedantic(
-        lambda: run_panel(spec, measure_cycles=measure, seed=2005),
+        lambda: run_panel(
+            spec, measure_cycles=measure, seed=2005, jobs=bench_jobs()
+        ),
         rounds=1,
         iterations=1,
     )
@@ -48,15 +50,20 @@ def _run_and_check(benchmark, results_dir, panel_name):
     benchmark.extra_info["sim_sat"] = metrics.sim_saturation_rate
 
     # --- paper-shape assertions -------------------------------------
+    # Model-side claims are exact and always hold; the simulation-side
+    # claims are statistical and only asserted when the measurement
+    # window is long enough to mean anything (CI-sized runs with
+    # REPRO_SIM_CYCLES=2000 smoke the plumbing, not the statistics).
     assert metrics.monotone_model, "model curve must be monotone"
-    assert metrics.monotone_sim, "simulated curve must be monotone"
     assert metrics.model_saturation_rate is not None, "model must saturate in grid"
-    if not math.isnan(metrics.mean_rel_error_light):
-        assert metrics.mean_rel_error_light < 0.5, (
-            "model must track simulation at light/moderate load"
-        )
-    if metrics.saturation_ratio is not None:
-        assert 0.5 <= metrics.saturation_ratio <= 2.0
+    if measure >= 20_000:
+        assert metrics.monotone_sim, "simulated curve must be monotone"
+        if not math.isnan(metrics.mean_rel_error_light):
+            assert metrics.mean_rel_error_light < 0.5, (
+                "model must track simulation at light/moderate load"
+            )
+        if metrics.saturation_ratio is not None:
+            assert 0.5 <= metrics.saturation_ratio <= 2.0
     _SAT_KNEES[panel_name] = metrics.model_saturation_rate
     return result
 

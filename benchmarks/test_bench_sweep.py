@@ -1,0 +1,59 @@
+"""Benchmarks for the sweep engine itself.
+
+Two timings that justify the engine's sequential-cost mechanisms:
+
+* warm-started vs cold-started model sweep (fixed-point iterations and
+  wall-clock over a dense Figure-1-style grid);
+* a cached panel re-run (should be dominated by file reads, not
+  simulation).
+
+The third mechanism — parallel simulation via ``--jobs`` — is timed
+through the figure benchmarks instead: run them with ``REPRO_JOBS=N``
+on a multi-core host and compare against the sequential default (the
+results are bit-identical; only the wall-clock moves).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import HotSpotLatencyModel
+from repro.experiments import SweepEngine, get_panel
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_warm_started_model_sweep(benchmark):
+    """Warm starting must cut total fixed-point iterations on a dense
+    Figure-1-style grid while reproducing the cold curve."""
+    spec = get_panel("fig1_h20")
+    model = HotSpotLatencyModel(
+        k=spec.k,
+        message_length=spec.message_length,
+        hotspot_fraction=spec.hotspot_fraction,
+        num_vcs=spec.num_vcs,
+    )
+    rates = [float(r) for r in np.linspace(0.08, 1.0, 32) * spec.paper_axis_max_rate]
+
+    warm = benchmark(lambda: model.sweep(rates, warm_start=True))
+    cold = model.sweep(rates, warm_start=False)
+
+    benchmark.extra_info["warm_iterations"] = warm.total_iterations
+    benchmark.extra_info["cold_iterations"] = cold.total_iterations
+    assert warm.total_iterations < cold.total_iterations
+    for w, c in zip(warm.points, cold.points):
+        assert w.saturated == c.saturated
+        if not w.saturated:
+            assert w.latency == pytest.approx(c.latency, rel=1e-7)
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_cached_panel_rerun(benchmark, tmp_path):
+    """A second run of the same panel must come from the on-disk cache
+    (no simulation), so it should be orders of magnitude faster."""
+    spec = get_panel("fig1_h70")
+    engine = SweepEngine(jobs=1, use_cache=True, cache_dir=tmp_path)
+    first = engine.run_panel(spec, measure_cycles=6_000, warmup_cycles=1_000)
+
+    rerun = benchmark(
+        lambda: engine.run_panel(spec, measure_cycles=6_000, warmup_cycles=1_000)
+    )
+    assert rerun.simulation == first.simulation

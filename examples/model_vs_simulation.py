@@ -9,7 +9,8 @@ reading model-vs-simulation off the paper's plots.
 Run:  python examples/model_vs_simulation.py [panel]
       panel in {fig1_h20, fig1_h40, fig1_h70, fig2_h20, fig2_h40, fig2_h70}
 Environment:  REPRO_QUICK=1 shrinks the simulation; REPRO_SIM_CYCLES=N
-sets the measurement window per point.
+sets the measurement window per point; REPRO_JOBS=N runs the simulation
+points on N worker processes (identical results, less wall-clock).
 """
 
 import os
@@ -20,6 +21,7 @@ from repro.experiments import (
     get_panel,
     run_panel,
     shape_metrics,
+    sim_jobs,
 )
 
 
@@ -28,8 +30,9 @@ def main() -> None:
     spec = get_panel(name)
     quick = bool(os.environ.get("REPRO_QUICK"))
     measure = 12_000 if quick else None  # None -> REPRO_SIM_CYCLES/default
-    print(f"running {spec.description} (model + simulation)...\n")
-    result = run_panel(spec, measure_cycles=measure)
+    jobs = sim_jobs()
+    print(f"running {spec.description} (model + simulation, jobs={jobs})...\n")
+    result = run_panel(spec, measure_cycles=measure, jobs=jobs)
     print(format_panel_table(result))
     metrics = shape_metrics(result)
     print()

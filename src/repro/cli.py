@@ -6,7 +6,15 @@ Commands
 ``saturation``  locate the model's saturation point
 ``simulate``    run one flit-level simulation
 ``panel``       regenerate a paper figure panel (model, optionally + sim)
+``figure``      regenerate every panel of a figure in one parallel run
 ``list-panels`` show the available panels
+
+``panel`` and ``figure`` run on the sweep engine
+(:class:`repro.experiments.sweep.SweepEngine`): ``--jobs N`` fans the
+simulation points out over N worker processes (results are bit-identical
+to ``--jobs 1``), and completed points are cached on disk under
+``$REPRO_CACHE_DIR`` (default ``~/.cache/repro/sweeps``) so re-running a
+figure is near-free; ``--no-cache`` bypasses the cache.
 
 Examples
 --------
@@ -16,7 +24,8 @@ Examples
     python -m repro model --k 16 --lm 32 --h 0.4 --sweep 8 --plot
     python -m repro saturation --k 16 --lm 100 --h 0.7
     python -m repro simulate --k 16 --lm 32 --h 0.2 --rate 3e-4 --cycles 50000
-    python -m repro panel fig1_h40 --simulate
+    python -m repro panel fig1_h40 --simulate --jobs 4
+    python -m repro figure 1 --simulate --jobs 8 --cycles 30000
 """
 
 from __future__ import annotations
@@ -32,16 +41,24 @@ from repro.core.model import HotSpotLatencyModel
 from repro.core.uniform import UniformLatencyModel
 from repro.experiments import (
     ALL_PANELS,
+    FIGURES,
+    SweepEngine,
     format_panel_table,
     get_panel,
-    run_panel,
-    run_panel_model_only,
+    panels_of_figure,
     shape_metrics,
 )
 from repro.simulator import Simulation, SimulationConfig
 from repro.viz import plot_sweeps
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _add_network_args(p: argparse.ArgumentParser) -> None:
@@ -88,13 +105,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--ejection", action="store_true", help="model a real ejection channel"
     )
 
+    def _add_sweep_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--simulate", action="store_true", help="also run the simulator series"
+        )
+        p.add_argument("--cycles", type=int, default=None,
+                       help="measured cycles per simulation point")
+        p.add_argument("--jobs", type=_positive_int, default=1,
+                       help="simulation worker processes (default 1)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk sweep result cache")
+        p.add_argument("--seed", type=int, default=42,
+                       help="base seed for the per-point simulation seeds")
+        p.add_argument("--plot", action="store_true")
+
     p_panel = sub.add_parser("panel", help="regenerate a paper figure panel")
     p_panel.add_argument("name", choices=sorted(ALL_PANELS))
-    p_panel.add_argument(
-        "--simulate", action="store_true", help="also run the simulator series"
+    _add_sweep_args(p_panel)
+
+    p_fig = sub.add_parser(
+        "figure", help="regenerate all panels of a figure (parallel with --jobs)"
     )
-    p_panel.add_argument("--cycles", type=int, default=None)
-    p_panel.add_argument("--plot", action="store_true")
+    p_fig.add_argument("number", type=int, choices=sorted(FIGURES))
+    _add_sweep_args(p_fig)
 
     sub.add_parser("list-panels", help="list the paper's figure panels")
     return parser
@@ -181,12 +214,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_panel(args: argparse.Namespace) -> int:
-    spec = get_panel(args.name)
-    if args.simulate:
-        result = run_panel(spec, measure_cycles=args.cycles)
-    else:
-        result = run_panel_model_only(spec)
+def _sweep_engine(args: argparse.Namespace) -> SweepEngine:
+    return SweepEngine(jobs=args.jobs, use_cache=not args.no_cache)
+
+
+def _print_panel(result, args: argparse.Namespace) -> None:
     print(format_panel_table(result))
     if args.simulate:
         m = shape_metrics(result)
@@ -198,6 +230,26 @@ def _cmd_panel(args: argparse.Namespace) -> int:
         )
         print()
         print(plot_sweeps(sweeps))
+
+
+def _cmd_panel(args: argparse.Namespace) -> int:
+    spec = get_panel(args.name)
+    result = _sweep_engine(args).run_panel(
+        spec, simulate=args.simulate, seed=args.seed, measure_cycles=args.cycles
+    )
+    _print_panel(result, args)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    specs = panels_of_figure(args.number)
+    results = _sweep_engine(args).run_panels(
+        specs, simulate=args.simulate, seed=args.seed, measure_cycles=args.cycles
+    )
+    for i, spec in enumerate(specs):
+        if i:
+            print()
+        _print_panel(results[spec.name], args)
     return 0
 
 
@@ -217,6 +269,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "panel":
         return _cmd_panel(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
     if args.command == "list-panels":
         return _cmd_list_panels()
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -6,6 +6,8 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+import numpy as np
+
 __all__ = ["LatencyBreakdown", "ModelResult", "SweepPoint", "SweepResult"]
 
 
@@ -65,6 +67,12 @@ class ModelResult:
     max_utilization:
         Largest channel utilisation seen by the converged solution —
         useful for locating the saturation point.
+    fixed_point_state:
+        The converged solver state vector (``None`` when saturated or
+        when the model needed no solve).  Pass it as ``initial`` to a
+        subsequent ``evaluate`` at a nearby rate to warm-start the
+        fixed-point iteration — the mechanism behind
+        :class:`~repro.experiments.sweep.SweepEngine`'s fast sweeps.
     """
 
     rate: float
@@ -76,6 +84,9 @@ class ModelResult:
     mean_multiplexing_hot_ring: float = float("nan")
     mean_multiplexing_nonhot_ring: float = float("nan")
     max_utilization: float = float("nan")
+    fixed_point_state: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def finite(self) -> bool:
@@ -84,11 +95,17 @@ class ModelResult:
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (rate, latency) sample of a load sweep."""
+    """One (rate, latency) sample of a load sweep.
+
+    ``iterations`` records the fixed-point iterations the analytical
+    model spent on the point (0 for simulated points) — the quantity
+    warm-started sweeps minimise.
+    """
 
     rate: float
     latency: float
     saturated: bool
+    iterations: int = 0
 
 
 @dataclass
@@ -105,6 +122,11 @@ class SweepResult:
     @property
     def latencies(self) -> List[float]:
         return [p.latency for p in self.points]
+
+    @property
+    def total_iterations(self) -> int:
+        """Fixed-point iterations summed over the curve's points."""
+        return sum(p.iterations for p in self.points)
 
     def finite_points(self) -> List[SweepPoint]:
         return [p for p in self.points if not p.saturated and math.isfinite(p.latency)]

@@ -142,27 +142,52 @@ class UniformLatencyModel:
             next_entry = self._class_latency(prof) if self.trip_averaging else prof[-1]
         return new
 
-    def evaluate(self, rate: float) -> ModelResult:
-        """Mean message latency at per-node rate ``rate`` (uniform traffic)."""
+    def evaluate(
+        self, rate: float, *, initial: Optional[np.ndarray] = None
+    ) -> ModelResult:
+        """Mean message latency at per-node rate ``rate`` (uniform traffic).
+
+        ``initial`` warm-starts the fixed-point solve from a previous
+        result's ``fixed_point_state`` (same contract as
+        :meth:`repro.core.model.HotSpotLatencyModel.evaluate`): a
+        non-converging warm start falls back to the cold start, so a
+        warm start can only improve convergence — it never reports
+        saturated a load the cold solve resolves, though it may resolve
+        a borderline load whose cold solve only ran out of budget.
+        """
         if rate < 0:
             raise ValueError(f"rate must be non-negative, got {rate}")
         k, lm = self.k, self.message_length
         lam_r = rate * self.regular_rate_factor
         init = np.full(self.n, float(k + lm))
+        if initial is not None:
+            initial = np.asarray(initial, dtype=float)
+            if initial.shape != init.shape:
+                raise ValueError(
+                    f"initial state has shape {initial.shape}, expected {init.shape}"
+                )
         if rate == 0.0:
             entries = init
             iterations = 0
         else:
-            result = self.solver.solve(lambda s: self._entrance_times(rate, s), init)
+            result = self.solver.solve(
+                lambda s: self._entrance_times(rate, s),
+                init if initial is None else initial,
+            )
+            iterations = result.iterations
+            if result.status is not FixedPointStatus.CONVERGED and initial is not None:
+                result = self.solver.solve(
+                    lambda s: self._entrance_times(rate, s), init
+                )
+                iterations += result.iterations
             if result.status is not FixedPointStatus.CONVERGED:
                 return ModelResult(
                     rate=rate,
                     latency=math.inf,
                     saturated=True,
-                    iterations=result.iterations,
+                    iterations=iterations,
                 )
             entries = result.state
-            iterations = result.iterations
 
         # Network latency: a message enters at its first non-matching
         # dimension (weight (1/k)^i (1-1/k)); each entry dimension's
@@ -212,6 +237,7 @@ class UniformLatencyModel:
             mean_multiplexing_hot_ring=v_bar,
             mean_multiplexing_nonhot_ring=v_bar,
             max_utilization=lam_r * self._competing_service(float(np.max(entries))),
+            fixed_point_state=np.array(entries, dtype=float, copy=True),
         )
 
     def saturation_rate(
@@ -229,11 +255,21 @@ class UniformLatencyModel:
                 lo_rate = mid
         return hi_rate
 
-    def sweep(self, rates, label: str = "uniform-model") -> SweepResult:
+    def sweep(
+        self, rates, label: str = "uniform-model", *, warm_start: bool = True
+    ) -> SweepResult:
+        """Evaluate over a rate grid, warm-starting adjacent solves."""
         out = SweepResult(label=label)
+        state: Optional[np.ndarray] = None
         for r in rates:
-            res = self.evaluate(float(r))
+            res = self.evaluate(float(r), initial=state if warm_start else None)
+            state = res.fixed_point_state
             out.points.append(
-                SweepPoint(rate=float(r), latency=res.latency, saturated=res.saturated)
+                SweepPoint(
+                    rate=float(r),
+                    latency=res.latency,
+                    saturated=res.saturated,
+                    iterations=res.iterations,
+                )
             )
         return out

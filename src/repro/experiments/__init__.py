@@ -9,8 +9,11 @@ flit-level simulator.
 * :mod:`~repro.experiments.figures` — the panel definitions (network,
   message length, h, load grid chosen to span zero → saturation exactly
   like the paper's axes).
-* :mod:`~repro.experiments.runner` — runs model + simulator for a panel
-  and returns paired curves.
+* :mod:`~repro.experiments.sweep` — the sweep engine: parallel
+  simulation points with deterministic per-point seeds, warm-started
+  model solves, and the on-disk result cache.
+* :mod:`~repro.experiments.runner` — the legacy one-call panel runners,
+  now thin wrappers over the engine's sequential (``jobs=1``) path.
 * :mod:`~repro.experiments.report` — renders the series as the ASCII
   tables the benchmarks print and computes the shape metrics recorded in
   EXPERIMENTS.md.
@@ -20,10 +23,20 @@ from repro.experiments.figures import (
     ALL_PANELS,
     FIGURE1,
     FIGURE2,
+    FIGURES,
     PanelSpec,
     get_panel,
+    panels_of_figure,
 )
-from repro.experiments.runner import PanelResult, run_panel, run_panel_model_only
+from repro.experiments.sweep import (
+    PanelResult,
+    SweepEngine,
+    default_cache_dir,
+    point_seed,
+    sim_jobs,
+    sim_measure_cycles,
+)
+from repro.experiments.runner import run_panel, run_panel_model_only
 from repro.experiments.report import (
     format_panel_table,
     shape_metrics,
@@ -34,9 +47,16 @@ __all__ = [
     "ALL_PANELS",
     "FIGURE1",
     "FIGURE2",
+    "FIGURES",
     "PanelSpec",
     "get_panel",
+    "panels_of_figure",
     "PanelResult",
+    "SweepEngine",
+    "default_cache_dir",
+    "point_seed",
+    "sim_jobs",
+    "sim_measure_cycles",
     "run_panel",
     "run_panel_model_only",
     "format_panel_table",

@@ -20,7 +20,15 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-__all__ = ["PanelSpec", "FIGURE1", "FIGURE2", "ALL_PANELS", "get_panel"]
+__all__ = [
+    "PanelSpec",
+    "FIGURE1",
+    "FIGURE2",
+    "FIGURES",
+    "ALL_PANELS",
+    "get_panel",
+    "panels_of_figure",
+]
 
 
 @dataclass(frozen=True)
@@ -138,6 +146,18 @@ FIGURE2: Dict[str, PanelSpec] = {
 }
 
 ALL_PANELS: Dict[str, PanelSpec] = {**FIGURE1, **FIGURE2}
+
+FIGURES: Dict[int, Dict[str, PanelSpec]] = {1: FIGURE1, 2: FIGURE2}
+
+
+def panels_of_figure(figure: int) -> List[PanelSpec]:
+    """All panels of one paper figure, in h order (for whole-figure runs)."""
+    try:
+        return list(FIGURES[figure].values())
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure!r}; available: {sorted(FIGURES)}"
+        ) from None
 
 
 def get_panel(name: str) -> PanelSpec:

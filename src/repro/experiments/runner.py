@@ -1,4 +1,9 @@
-"""Run model and simulator over a figure panel's load grid.
+"""Legacy panel runners, now thin wrappers over the sweep engine.
+
+The orchestration itself — parallel simulation points, deterministic
+per-point seeds, warm-started model solves, the on-disk result cache —
+lives in :class:`repro.experiments.sweep.SweepEngine`; these functions
+keep the original one-call API and the sequential ``jobs=1`` defaults.
 
 Simulation run lengths scale with the environment variable
 ``REPRO_SIM_CYCLES`` (measurement cycles per point, default 120 000) so
@@ -7,68 +12,21 @@ CI-speed and paper-accuracy runs use the same code path.
 
 from __future__ import annotations
 
-import math
-import os
-from dataclasses import dataclass
-from typing import List, Optional
+from pathlib import Path
+from typing import Optional
 
-from repro.core.model import HotSpotLatencyModel
-from repro.core.results import SweepPoint, SweepResult
 from repro.experiments.figures import PanelSpec
-from repro.simulator.config import SimulationConfig
-from repro.simulator.sim import Simulation
+from repro.experiments.sweep import PanelResult, SweepEngine, sim_measure_cycles
 
 __all__ = ["PanelResult", "run_panel", "run_panel_model_only", "sim_measure_cycles"]
-
-
-def sim_measure_cycles(default: int = 120_000) -> int:
-    """Measurement cycles per simulation point (env-overridable)."""
-    raw = os.environ.get("REPRO_SIM_CYCLES", "")
-    if not raw:
-        return default
-    value = int(raw)
-    if value < 1_000:
-        raise ValueError(
-            f"REPRO_SIM_CYCLES={value} too small; need >= 1000 for meaningful stats"
-        )
-    return value
-
-
-@dataclass
-class PanelResult:
-    """Paired model/simulation curves for one panel."""
-
-    spec: PanelSpec
-    model: SweepResult
-    simulation: Optional[SweepResult]
-
-    def paired_points(self) -> List[tuple]:
-        """(rate, model latency, sim latency) rows, sim ``nan`` if absent."""
-        sim_by_rate = {}
-        if self.simulation is not None:
-            sim_by_rate = {p.rate: p for p in self.simulation.points}
-        rows = []
-        for p in self.model.points:
-            s = sim_by_rate.get(p.rate)
-            rows.append(
-                (p.rate, p.latency, s.latency if s is not None else math.nan)
-            )
-        return rows
 
 
 def run_panel_model_only(
     spec: PanelSpec, *, trip_averaging: bool = True
 ) -> PanelResult:
     """Evaluate the analytical model over the panel grid (fast)."""
-    model = HotSpotLatencyModel(
-        k=spec.k,
-        message_length=spec.message_length,
-        hotspot_fraction=spec.hotspot_fraction,
-        num_vcs=spec.num_vcs,
-        trip_averaging=trip_averaging,
-    )
-    sweep = model.sweep(spec.rates, label=f"model:{spec.name}")
-    return PanelResult(spec=spec, model=sweep, simulation=None)
+    engine = SweepEngine(jobs=1, use_cache=False)
+    return engine.run_panel(spec, simulate=False, trip_averaging=trip_averaging)
 
 
 def run_panel(
@@ -78,34 +36,23 @@ def run_panel(
     measure_cycles: Optional[int] = None,
     warmup_cycles: Optional[int] = None,
     trip_averaging: bool = True,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: "Path | str | None" = None,
 ) -> PanelResult:
     """Evaluate model *and* simulator over the panel grid.
 
     The simulation sweep stops at its first saturated point (the paper's
     curves end at saturation too, and saturated runs only burn time).
+    ``jobs``, ``use_cache`` and ``cache_dir`` pass through to
+    :class:`~repro.experiments.sweep.SweepEngine`; caching defaults off
+    here so existing callers (tests, benchmarks) keep timing real runs.
     """
-    result = run_panel_model_only(spec, trip_averaging=trip_averaging)
-    measure = measure_cycles if measure_cycles is not None else sim_measure_cycles()
-    warmup = warmup_cycles if warmup_cycles is not None else max(measure // 8, 2_000)
-    sim_sweep = SweepResult(label=f"sim:{spec.name}")
-    for rate in spec.rates:
-        cfg = SimulationConfig(
-            k=spec.k,
-            n=2,
-            num_vcs=spec.num_vcs,
-            message_length=spec.message_length,
-            rate=float(rate),
-            hotspot_fraction=spec.hotspot_fraction,
-            warmup_cycles=warmup,
-            measure_cycles=measure,
-            seed=seed,
-        )
-        res = Simulation(cfg).run()
-        latency = math.inf if res.saturated else res.mean_latency
-        sim_sweep.points.append(
-            SweepPoint(rate=float(rate), latency=latency, saturated=res.saturated)
-        )
-        if res.saturated:
-            break
-    result.simulation = sim_sweep
-    return result
+    engine = SweepEngine(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    return engine.run_panel(
+        spec,
+        seed=seed,
+        measure_cycles=measure_cycles,
+        warmup_cycles=warmup_cycles,
+        trip_averaging=trip_averaging,
+    )

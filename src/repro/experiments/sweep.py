@@ -1,0 +1,468 @@
+"""Parallel, cached, warm-started sweep engine for figure regeneration.
+
+Every figure of the paper is a *load sweep*: the analytical model and
+the flit-level simulator evaluated over a grid of injection rates.  The
+:class:`SweepEngine` is the one place that work is orchestrated:
+
+Parallel simulation
+    Simulation points — of one panel, or of every panel of a figure at
+    once — run concurrently on a
+    :class:`concurrent.futures.ProcessPoolExecutor` with ``jobs``
+    workers.  Each grid point gets a *deterministic per-point seed*
+    derived from ``(base seed, panel name, point index)`` via SHA-256
+    (:func:`point_seed`), so results are bit-identical for any ``jobs``
+    value: ``jobs=1`` runs the exact same configurations sequentially
+    and merely stops early at the first saturated point, while
+    ``jobs>1`` evaluates the grid concurrently and truncates the series
+    at the first saturated point afterwards — the returned
+    :class:`~repro.core.results.SweepResult` is identical either way.
+
+Warm-started model sweeps
+    Successive grid points differ only in the injection rate, so the
+    fixed point at one rate is an excellent initial state for the next.
+    Model sweeps chain each converged state into the next solve via the
+    ``initial`` pass-through on
+    :meth:`~repro.core.model.HotSpotLatencyModel.evaluate`, cutting the
+    total fixed-point iterations of a figure sweep severalfold while
+    converging (to solver tolerance) on the same fixed points.
+
+On-disk result cache
+    Each simulated point is persisted as a small JSON file keyed by the
+    SHA-256 hash of its full :class:`~repro.simulator.config
+    .SimulationConfig` (plus a cache-format version), so re-running a
+    figure is near-free.  The cache lives in ``$REPRO_CACHE_DIR`` when
+    set, else ``~/.cache/repro/sweeps``.  Invalidation is automatic:
+    any change to a configuration field (including seed, warmup or
+    measurement window) changes the key, and bumping
+    ``_CACHE_VERSION`` orphans every older entry.  Deleting the
+    directory is always safe; ``use_cache=False`` (CLI ``--no-cache``)
+    bypasses it entirely.
+
+The legacy entry points :func:`repro.experiments.runner.run_panel` and
+``run_panel_model_only`` delegate here with ``jobs=1`` — the sequential
+path is the degenerate case, not a separate implementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.model import HotSpotLatencyModel
+from repro.core.results import SweepPoint, SweepResult
+from repro.experiments.figures import PanelSpec
+from repro.simulator.config import SimulationConfig
+from repro.simulator.sim import Simulation
+
+__all__ = [
+    "PanelResult",
+    "SweepEngine",
+    "default_cache_dir",
+    "point_seed",
+    "sim_jobs",
+    "sim_measure_cycles",
+]
+
+#: Bump to orphan every existing cache entry (format or semantics change).
+_CACHE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+def sim_measure_cycles(default: int = 120_000) -> int:
+    """Measurement cycles per simulation point (env-overridable).
+
+    Reads ``REPRO_SIM_CYCLES``; raises a :class:`ValueError` naming the
+    variable when it is set to a non-integer or unusably small value.
+    """
+    raw = os.environ.get("REPRO_SIM_CYCLES", "")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SIM_CYCLES must be an integer number of cycles, "
+            f"got {raw!r}"
+        ) from None
+    if value < 1_000:
+        raise ValueError(
+            f"REPRO_SIM_CYCLES={value} too small; need >= 1000 for meaningful stats"
+        )
+    return value
+
+
+def sim_jobs(default: int = 1) -> int:
+    """Simulation worker processes (``REPRO_JOBS``, env-overridable).
+
+    The one validated parse shared by the examples and benchmarks;
+    raises a :class:`ValueError` naming the variable on bad input.
+    """
+    raw = os.environ.get("REPRO_JOBS", "")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be an integer number of workers, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"REPRO_JOBS must be >= 1, got {value}")
+    return value
+
+
+def point_seed(base_seed: int, panel: str, index: int) -> int:
+    """Deterministic RNG seed for grid point ``index`` of ``panel``.
+
+    Derived by hashing ``(base_seed, panel, index)`` with SHA-256 — not
+    Python's randomised ``hash()`` — so the same sweep produces the
+    same seeds in every process and on every run.  Distinct points get
+    decorrelated Poisson streams instead of replaying one seed per rate.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{panel}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass
+class PanelResult:
+    """Paired model/simulation curves for one panel."""
+
+    spec: PanelSpec
+    model: SweepResult
+    simulation: Optional[SweepResult]
+
+    def paired_points(self) -> List[tuple]:
+        """(rate, model latency, sim latency) rows, sim ``nan`` if absent."""
+        sim_by_rate = {}
+        if self.simulation is not None:
+            sim_by_rate = {p.rate: p for p in self.simulation.points}
+        rows = []
+        for p in self.model.points:
+            s = sim_by_rate.get(p.rate)
+            rows.append(
+                (p.rate, p.latency, s.latency if s is not None else math.nan)
+            )
+        return rows
+
+
+def _simulate_point(cfg: SimulationConfig) -> SweepPoint:
+    """Process-pool worker: one simulation run -> one sweep point."""
+    res = Simulation(cfg).run()
+    latency = math.inf if res.saturated else res.mean_latency
+    return SweepPoint(rate=cfg.rate, latency=latency, saturated=res.saturated)
+
+
+class _SweepCache:
+    """One JSON file per simulated point, keyed by the config hash."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    def _path(self, cfg: SimulationConfig) -> Path:
+        payload = {"version": _CACHE_VERSION, "config": asdict(cfg)}
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        key = hashlib.sha256(blob.encode()).hexdigest()
+        return self.root / f"{key}.json"
+
+    def get(self, cfg: SimulationConfig) -> Optional[SweepPoint]:
+        try:
+            data = json.loads(self._path(cfg).read_text())
+            return SweepPoint(
+                rate=float(data["rate"]),
+                latency=float(data["latency"]),
+                saturated=bool(data["saturated"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, cfg: SimulationConfig, point: SweepPoint) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(cfg)
+        body = json.dumps(
+            {
+                "rate": point.rate,
+                "latency": point.latency,
+                "saturated": point.saturated,
+            }
+        )
+        # Unique tmp per writer: concurrent processes computing the same
+        # point must not clobber each other's half-written file.
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(body)
+        tmp.replace(path)
+
+
+@dataclass
+class _PendingPanel:
+    """Book-keeping for one panel while its points are in flight."""
+
+    spec: PanelSpec
+    cfgs: List[SimulationConfig]
+    points: List[Optional[SweepPoint]]
+    futures: Dict[int, "object"] = field(default_factory=dict)
+
+
+class SweepEngine:
+    """Runs model/simulation load sweeps: parallel, warm-started, cached.
+
+    Parameters
+    ----------
+    jobs:
+        Simulation worker processes.  ``1`` (default) runs points
+        sequentially in-process with early stop at the first saturated
+        point; ``>1`` fans points (across all panels of a call) out to a
+        process pool and truncates each series at its first saturated
+        point, yielding bit-identical results to ``jobs=1``.
+    use_cache:
+        Consult/populate the on-disk point cache (see module docstring).
+    cache_dir:
+        Cache root; defaults to :func:`default_cache_dir`.
+    warm_start:
+        Chain each model point's converged fixed-point state into the
+        next rate's solve (identical results to solver tolerance, far
+        fewer iterations).
+
+    Examples
+    --------
+    >>> from repro.experiments import SweepEngine, get_panel
+    >>> engine = SweepEngine(jobs=4)
+    >>> result = engine.run_panel(get_panel("fig1_h20"), simulate=False)
+    >>> result.model.saturation_rate() is not None
+    True
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        use_cache: bool = True,
+        cache_dir: "Path | str | None" = None,
+        warm_start: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.warm_start = bool(warm_start)
+        self.cache = (
+            _SweepCache(Path(cache_dir) if cache_dir is not None else default_cache_dir())
+            if use_cache
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Model side
+    # ------------------------------------------------------------------
+    def model_sweep(
+        self,
+        spec: PanelSpec,
+        *,
+        trip_averaging: bool = True,
+        label: Optional[str] = None,
+    ) -> SweepResult:
+        """Analytical-model curve for a panel (warm-started by default)."""
+        model = HotSpotLatencyModel(
+            k=spec.k,
+            message_length=spec.message_length,
+            hotspot_fraction=spec.hotspot_fraction,
+            num_vcs=spec.num_vcs,
+            trip_averaging=trip_averaging,
+        )
+        return model.sweep(
+            spec.rates,
+            label=label or f"model:{spec.name}",
+            warm_start=self.warm_start,
+        )
+
+    # ------------------------------------------------------------------
+    # Simulation side
+    # ------------------------------------------------------------------
+    def _panel_configs(
+        self,
+        spec: PanelSpec,
+        seed: int,
+        measure_cycles: Optional[int],
+        warmup_cycles: Optional[int],
+    ) -> List[SimulationConfig]:
+        measure = (
+            measure_cycles if measure_cycles is not None else sim_measure_cycles()
+        )
+        warmup = (
+            warmup_cycles if warmup_cycles is not None else max(measure // 8, 2_000)
+        )
+        return [
+            SimulationConfig(
+                k=spec.k,
+                n=2,
+                num_vcs=spec.num_vcs,
+                message_length=spec.message_length,
+                rate=float(rate),
+                hotspot_fraction=spec.hotspot_fraction,
+                warmup_cycles=warmup,
+                measure_cycles=measure,
+                seed=point_seed(seed, spec.name, i),
+            )
+            for i, rate in enumerate(spec.rates)
+        ]
+
+    def _run_point(self, cfg: SimulationConfig) -> SweepPoint:
+        if self.cache is not None:
+            hit = self.cache.get(cfg)
+            if hit is not None:
+                return hit
+        point = _simulate_point(cfg)
+        if self.cache is not None:
+            self.cache.put(cfg, point)
+        return point
+
+    def _sequential_sweep(self, spec: PanelSpec, cfgs: List[SimulationConfig]) -> SweepResult:
+        """The ``jobs=1`` degenerate case: in order, stop at saturation."""
+        sweep = SweepResult(label=f"sim:{spec.name}")
+        for cfg in cfgs:
+            point = self._run_point(cfg)
+            sweep.points.append(point)
+            if point.saturated:
+                break
+        return sweep
+
+    def _submit_panel(
+        self, spec: PanelSpec, cfgs: List[SimulationConfig], executor: ProcessPoolExecutor
+    ) -> _PendingPanel:
+        pending = _PendingPanel(spec=spec, cfgs=cfgs, points=[None] * len(cfgs))
+        for i, cfg in enumerate(cfgs):
+            hit = self.cache.get(cfg) if self.cache is not None else None
+            if hit is not None:
+                pending.points[i] = hit
+            else:
+                pending.futures[i] = executor.submit(_simulate_point, cfg)
+        return pending
+
+    def _collect_panel(self, pending: _PendingPanel) -> SweepResult:
+        """Gather points in grid order, truncating at first saturation.
+
+        Points past the first saturated one are discarded either way, so
+        their still-queued futures are cancelled (best-effort — workers
+        already running them finish; their results are simply not read)
+        to stop burning simulation time the series will never use.
+        """
+        sweep = SweepResult(label=f"sim:{pending.spec.name}")
+        truncated = False
+        for i in range(len(pending.cfgs)):
+            future = pending.futures.get(i)
+            if truncated:
+                if future is not None:
+                    future.cancel()
+                continue
+            point = pending.points[i]
+            if point is None:
+                point = future.result()
+                if self.cache is not None:
+                    self.cache.put(pending.cfgs[i], point)
+            sweep.points.append(point)
+            truncated = point.saturated
+        return sweep
+
+    def simulation_sweep(
+        self,
+        spec: PanelSpec,
+        *,
+        seed: int = 42,
+        measure_cycles: Optional[int] = None,
+        warmup_cycles: Optional[int] = None,
+    ) -> SweepResult:
+        """Simulator curve for one panel, truncated at first saturation."""
+        cfgs = self._panel_configs(spec, seed, measure_cycles, warmup_cycles)
+        if self.jobs == 1:
+            return self._sequential_sweep(spec, cfgs)
+        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
+            pending = self._submit_panel(spec, cfgs, executor)
+            return self._collect_panel(pending)
+
+    # ------------------------------------------------------------------
+    # Panels and figures
+    # ------------------------------------------------------------------
+    def run_panel(
+        self,
+        spec: PanelSpec,
+        *,
+        simulate: bool = True,
+        seed: int = 42,
+        measure_cycles: Optional[int] = None,
+        warmup_cycles: Optional[int] = None,
+        trip_averaging: bool = True,
+    ) -> PanelResult:
+        """Model (and optionally simulator) curves for one panel."""
+        result = PanelResult(
+            spec=spec,
+            model=self.model_sweep(spec, trip_averaging=trip_averaging),
+            simulation=None,
+        )
+        if simulate:
+            result.simulation = self.simulation_sweep(
+                spec,
+                seed=seed,
+                measure_cycles=measure_cycles,
+                warmup_cycles=warmup_cycles,
+            )
+        return result
+
+    def run_panels(
+        self,
+        specs: Sequence[PanelSpec],
+        *,
+        simulate: bool = True,
+        seed: int = 42,
+        measure_cycles: Optional[int] = None,
+        warmup_cycles: Optional[int] = None,
+        trip_averaging: bool = True,
+    ) -> Dict[str, PanelResult]:
+        """Run several panels (e.g. a whole figure) in one shared pool.
+
+        With ``jobs>1`` every uncached simulation point of every panel
+        is in flight on the same executor, so a six-panel figure keeps
+        all workers busy instead of draining panel by panel.  Results
+        are keyed by panel name and identical to per-panel runs.
+        """
+        results: Dict[str, PanelResult] = {}
+        if not simulate or self.jobs == 1:
+            for spec in specs:
+                results[spec.name] = self.run_panel(
+                    spec,
+                    simulate=simulate,
+                    seed=seed,
+                    measure_cycles=measure_cycles,
+                    warmup_cycles=warmup_cycles,
+                    trip_averaging=trip_averaging,
+                )
+            return results
+
+        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
+            pendings = [
+                self._submit_panel(
+                    spec,
+                    self._panel_configs(spec, seed, measure_cycles, warmup_cycles),
+                    executor,
+                )
+                for spec in specs
+            ]
+            for pending in pendings:
+                results[pending.spec.name] = PanelResult(
+                    spec=pending.spec,
+                    model=self.model_sweep(
+                        pending.spec, trip_averaging=trip_averaging
+                    ),
+                    simulation=self._collect_panel(pending),
+                )
+        return results

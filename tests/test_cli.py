@@ -94,3 +94,25 @@ class TestPanelCommands:
     def test_unknown_panel_rejected(self):
         with pytest.raises(SystemExit):
             main(["panel", "fig9_h99"])
+
+    def test_panel_sweep_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["panel", "fig1_h40", "--simulate", "--jobs", "4", "--no-cache",
+             "--seed", "9"]
+        )
+        assert args.jobs == 4 and args.no_cache and args.seed == 9
+
+    def test_panel_jobs_model_only(self, capsys):
+        # --jobs with a model-only run exercises the engine path without
+        # spawning workers (there is nothing to simulate).
+        assert main(["panel", "fig1_h40", "--jobs", "2", "--no-cache"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_figure_model_only(self, capsys):
+        assert main(["figure", "1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Figure 1") == 3  # one table per panel
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "9"])

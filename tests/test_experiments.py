@@ -16,6 +16,7 @@ from repro.experiments import (
     run_panel_model_only,
     shape_metrics,
 )
+from repro.experiments import sim_jobs
 from repro.experiments.runner import sim_measure_cycles
 
 
@@ -156,3 +157,28 @@ class TestEnvControls:
         monkeypatch.setenv("REPRO_SIM_CYCLES", "10")
         with pytest.raises(ValueError):
             sim_measure_cycles()
+
+    def test_non_integer_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_CYCLES", "fast")
+        with pytest.raises(ValueError, match="REPRO_SIM_CYCLES.*'fast'"):
+            sim_measure_cycles()
+
+    def test_float_rejected_with_clear_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_CYCLES", "2e4")
+        with pytest.raises(ValueError, match="REPRO_SIM_CYCLES"):
+            sim_measure_cycles()
+
+    def test_jobs_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert sim_jobs() == 1
+        assert sim_jobs(3) == 3
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert sim_jobs() == 4
+
+    def test_jobs_bad_values_name_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "four")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            sim_jobs()
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            sim_jobs()

@@ -1,0 +1,104 @@
+"""Property-based tests for :class:`repro.core.fixed_point.FixedPointSolver`.
+
+Complements the example-based tests in ``test_fixed_point.py`` with
+hypothesis-driven properties over random affine contractions
+``x -> A x + b`` (diagonal ``A``, spectral radius < 1 — every such map
+has a unique fixed point the iteration must find):
+
+* a solve restarted from its own converged state terminates in at most
+  two iterations and stays at the same fixed point — the contract the
+  sweep engine's warm starting relies on;
+* invalid solver parameters always raise ``ValueError``;
+* a map that produces non-finite values reports ``SATURATED`` with the
+  last finite state.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fixed_point import FixedPointSolver, FixedPointStatus
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+contractions = st.integers(min_value=1, max_value=6).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            st.floats(min_value=-0.9, max_value=0.9, **finite),
+            min_size=n, max_size=n,
+        ),
+        st.lists(
+            st.floats(min_value=-100.0, max_value=100.0, **finite),
+            min_size=n, max_size=n,
+        ),
+    )
+)
+
+
+@settings(deadline=None, max_examples=50)
+@given(contractions, st.floats(min_value=0.3, max_value=1.0, **finite))
+def test_warm_restart_converges_within_two_iterations(ab, damping):
+    a, b = np.array(ab[0]), np.array(ab[1])
+    solver = FixedPointSolver(tol=1e-10, max_iterations=50_000, damping=damping)
+    update = lambda x: a * x + b
+
+    cold = solver.solve(update, np.zeros_like(b))
+    assert cold.status is FixedPointStatus.CONVERGED
+    expected = b / (1.0 - a)
+    assert np.allclose(cold.state, expected, rtol=1e-6, atol=1e-6)
+
+    warm = solver.solve(update, cold.state)
+    assert warm.status is FixedPointStatus.CONVERGED
+    assert warm.iterations <= 2
+    assert np.allclose(warm.state, cold.state, rtol=1e-8, atol=1e-8)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.floats(max_value=0.0, **finite))
+def test_nonpositive_tolerance_rejected(tol):
+    with pytest.raises(ValueError):
+        FixedPointSolver(tol=tol)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    st.one_of(
+        st.floats(max_value=0.0, **finite),
+        st.floats(min_value=1.0, exclude_min=True, allow_nan=False),
+    )
+)
+def test_out_of_range_damping_rejected(damping):
+    with pytest.raises(ValueError):
+        FixedPointSolver(damping=damping)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(max_value=0))
+def test_nonpositive_iteration_budget_rejected(budget):
+    with pytest.raises(ValueError):
+        FixedPointSolver(max_iterations=budget)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    st.floats(min_value=1e100, max_value=1e300, **finite),
+    st.floats(min_value=0.1, max_value=100.0, **finite),
+)
+def test_exploding_map_reports_saturated(scale, x0):
+    """Any map whose values overflow to inf must report SATURATED and
+    return the last finite iterate."""
+    solver = FixedPointSolver(damping=1.0, max_iterations=1_000)
+    with np.errstate(over="ignore"):
+        result = solver.solve(lambda x: x * scale, np.array([x0]))
+    assert result.status is FixedPointStatus.SATURATED
+    assert np.all(np.isfinite(result.state))
+    assert not result.converged
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.floats(min_value=0.1, max_value=10.0, **finite))
+def test_nan_map_reports_saturated(x0):
+    solver = FixedPointSolver()
+    result = solver.solve(lambda x: np.full_like(x, np.nan), np.array([x0]))
+    assert result.status is FixedPointStatus.SATURATED
+    assert result.state[0] == pytest.approx(x0)
