@@ -4,26 +4,32 @@ These are conventional pytest-benchmark timings (multiple rounds) of the
 two engines a user pays for: one analytical evaluation at moderate load,
 and flit-level simulation throughput in cycles/second (reported via
 ``extra_info``).
+
+The configurations and the throughput arithmetic come from
+:mod:`repro.bench` — the same timing path the ``repro bench``
+subcommand records into ``BENCH_*.json`` reports — so pytest-benchmark
+numbers and committed baselines are directly comparable.
 """
 
 import pytest
 
-from repro.core.model import HotSpotLatencyModel
+from repro import bench
 from repro.core.uniform import UniformLatencyModel
-from repro.simulator import Simulation, SimulationConfig
 from repro.simulator.router import RouteTable
 from repro.topology import KAryNCube
 
 
 @pytest.mark.benchmark(group="speed")
 def test_model_evaluate_speed(benchmark):
-    model = HotSpotLatencyModel(k=16, message_length=32, hotspot_fraction=0.4)
+    model = bench.bench_model()
     result = benchmark(lambda: model.evaluate(2e-4))
     assert result.finite
 
 
 @pytest.mark.benchmark(group="speed")
 def test_model_saturation_search_speed(benchmark):
+    from repro.core.model import HotSpotLatencyModel
+
     model = HotSpotLatencyModel(k=16, message_length=32, hotspot_fraction=0.2)
     rate = benchmark.pedantic(
         lambda: model.saturation_rate(hi=0.01, tol=1e-6), rounds=3, iterations=1
@@ -39,24 +45,32 @@ def test_uniform_model_speed(benchmark):
 
 @pytest.mark.benchmark(group="speed")
 def test_simulator_cycle_rate(benchmark):
-    cfg = SimulationConfig(
-        k=16,
-        message_length=32,
-        rate=3e-4,
-        hotspot_fraction=0.2,
-        warmup_cycles=0,
-        measure_cycles=20_000,
-        seed=99,
+    cfg = bench.bench_sim_config()
+
+    run = benchmark.pedantic(
+        lambda: bench.run_sim_once(cfg), rounds=3, iterations=1
     )
+    stats = bench.throughput_stats(run, benchmark.stats["mean"])
+    benchmark.extra_info["cycles_per_second"] = stats["cycles_per_sec"]
+    benchmark.extra_info["flits_per_second"] = stats["flits_per_sec"]
+    benchmark.extra_info["engine"] = f"{run.engine}/{run.kernel}"
+    benchmark.extra_info["completions"] = run.completed
+    assert run.completed > 0
 
-    def run():
-        return Simulation(cfg).run()
 
-    res = benchmark.pedantic(run, rounds=3, iterations=1)
-    cycles_per_sec = res.cycles_run / benchmark.stats["mean"]
-    benchmark.extra_info["cycles_per_second"] = cycles_per_sec
-    benchmark.extra_info["completions"] = res.num_completed
-    assert res.num_completed > 0
+@pytest.mark.benchmark(group="speed")
+def test_reference_engine_cycle_rate(benchmark):
+    """The correctness oracle's throughput, tracked alongside the SoA
+    engine so the recorded speedup ratio stays honest.  Same window as
+    test_simulator_cycle_rate: per-run fixed costs amortize equally."""
+    cfg = bench.bench_sim_config(engine="reference")
+
+    run = benchmark.pedantic(
+        lambda: bench.run_sim_once(cfg), rounds=3, iterations=1
+    )
+    stats = bench.throughput_stats(run, benchmark.stats["mean"])
+    benchmark.extra_info["cycles_per_second"] = stats["cycles_per_sec"]
+    assert run.completed > 0
 
 
 @pytest.mark.benchmark(group="speed")

@@ -8,6 +8,7 @@ Commands
 ``panel``       regenerate a paper figure panel (model, optionally + sim)
 ``figure``      regenerate every panel of a figure in one parallel run
 ``list-panels`` show the available panels
+``bench``       measure engine throughput, write/check a BENCH_*.json report
 
 ``panel`` and ``figure`` run on the sweep engine
 (:class:`repro.experiments.sweep.SweepEngine`): ``--jobs N`` fans the
@@ -26,6 +27,8 @@ Examples
     python -m repro simulate --k 16 --lm 32 --h 0.2 --rate 3e-4 --cycles 50000
     python -m repro panel fig1_h40 --simulate --jobs 4
     python -m repro figure 1 --simulate --jobs 8 --cycles 30000
+    python -m repro bench --output benchmarks/results/
+    python -m repro bench --quick --check benchmarks/results/BENCH_baseline.json
 """
 
 from __future__ import annotations
@@ -104,6 +107,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--ejection", action="store_true", help="model a real ejection channel"
     )
+    p_sim.add_argument(
+        "--engine",
+        choices=["auto", "soa", "reference"],
+        default="auto",
+        help="cycle engine (auto follows $REPRO_ENGINE, default soa)",
+    )
 
     def _add_sweep_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -130,6 +139,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_args(p_fig)
 
     sub.add_parser("list-panels", help="list the paper's figure panels")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure simulator/model throughput and record a BENCH report",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="short measurement window (CI smoke runs)",
+    )
+    p_bench.add_argument(
+        "--rounds", type=_positive_int, default=3, help="timing rounds (best-of)"
+    )
+    p_bench.add_argument(
+        "--engine",
+        choices=["auto", "soa", "reference"],
+        default="auto",
+        help="cycle engine to benchmark (auto follows $REPRO_ENGINE)",
+    )
+    p_bench.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the BENCH_*.json report here (file, or directory for "
+        "an auto-generated name)",
+    )
+    p_bench.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="fail (exit 1) on a >2x cycles/sec regression vs this "
+        "recorded BENCH_*.json baseline",
+    )
     return parser
 
 
@@ -199,6 +241,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         measure_cycles=args.cycles,
         seed=args.seed,
         model_ejection=args.ejection,
+        engine=args.engine,
     )
     res = Simulation(cfg).run()
     print(f"completed {res.num_completed} messages over {res.cycles_run} cycles")
@@ -253,6 +296,50 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import bench
+
+    report = bench.build_report(
+        quick=args.quick, rounds=args.rounds, engine=args.engine
+    )
+    sim = report["simulator"]
+    model = report["model"]
+    window = "quick" if args.quick else "full"
+    print(
+        f"simulator [{sim['engine']}/{sim['kernel']}, {window}]: "
+        f"{sim['cycles_per_sec']:,.0f} cycles/s, "
+        f"{sim['flits_per_sec']:,.0f} flits/s "
+        f"({sim['cycles_run']} cycles in {sim['seconds']:.3f}s, "
+        f"{sim['completed']} deliveries)"
+    )
+    print(f"model: {model['solves_per_sec']:,.1f} solves/s")
+    print(f"config {report['config_hash']}  rev {report['git_rev']}")
+    if args.output is not None:
+        path = bench.write_report(report, args.output)
+        print(f"report written to {path}")
+    if args.check is not None:
+        from pathlib import Path
+
+        try:
+            baseline = json.loads(Path(args.check).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.check}: {exc}",
+                  file=sys.stderr)
+            return 2
+        failures = bench.check_regression(report, baseline)
+        if failures:
+            for msg in failures:
+                print(f"REGRESSION: {msg}", file=sys.stderr)
+            return 1
+        print(
+            f"throughput OK vs baseline {args.check} "
+            f"({float(baseline['simulator']['cycles_per_sec']):,.0f} cycles/s)"
+        )
+    return 0
+
+
 def _cmd_list_panels() -> int:
     for name, spec in sorted(ALL_PANELS.items()):
         print(f"{name:10} {spec.description}")
@@ -271,6 +358,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_panel(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "list-panels":
         return _cmd_list_panels()
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -24,10 +24,18 @@ class 1 when it crosses a ring's wrap-around channel
 
 Public front-end: :class:`~repro.simulator.sim.Simulation` with
 :class:`~repro.simulator.config.SimulationConfig`.
+
+Two interchangeable cycle engines exist (``config.engine`` /
+``$REPRO_ENGINE``): the structure-of-arrays engine
+(:class:`~repro.simulator.soa.SoACycleEngine`, the fast default) and
+the reference engine (:class:`~repro.simulator.engine.CycleEngine`,
+the correctness oracle); their outputs are bit-identical.
 """
 
-from repro.simulator.config import SimulationConfig
+from repro.simulator.config import SimulationConfig, resolve_engine_kind
+from repro.simulator.engine import CycleEngine
 from repro.simulator.sim import Simulation, SimulationResult
+from repro.simulator.soa import SoACycleEngine
 from repro.simulator.stats import BatchMeans, LatencyStats
 
 __all__ = [
@@ -36,4 +44,7 @@ __all__ = [
     "SimulationResult",
     "BatchMeans",
     "LatencyStats",
+    "CycleEngine",
+    "SoACycleEngine",
+    "resolve_engine_kind",
 ]

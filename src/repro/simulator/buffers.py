@@ -80,6 +80,8 @@ class VirtualChannelPool:
         "pending",
         "rr",
         "busy_count",
+        "pending_count",
+        "impatient_count",
         "_class_of",
     )
 
@@ -114,6 +116,10 @@ class VirtualChannelPool:
         ]
         self.rr = 0
         self.busy_count = 0
+        # Aggregate request counters so the per-cycle allocation phase can
+        # skip empty classes without touching every deque.
+        self.pending_count = 0
+        self.impatient_count = [0] * len(partition)
 
     # ------------------------------------------------------------------
     def vc_class(self, vc: int) -> int:
@@ -132,9 +138,12 @@ class VirtualChannelPool:
         the same allocation phase.
         """
         self.pending[vc_class].append((msg_id, hop, impatient))
+        self.pending_count += 1
+        if impatient:
+            self.impatient_count[vc_class] += 1
 
     def has_pending(self) -> bool:
-        return any(self.pending)
+        return self.pending_count > 0
 
     def grant_one(self, vc_class: int) -> Optional[Tuple[int, int, int]]:
         """Grant the oldest pending request of a class if a VC is free.
@@ -143,7 +152,10 @@ class VirtualChannelPool:
         """
         if not self.pending[vc_class] or not self.free_by_class[vc_class]:
             return None
-        msg_id, hop, _ = self.pending[vc_class].popleft()
+        msg_id, hop, impatient = self.pending[vc_class].popleft()
+        self.pending_count -= 1
+        if impatient:
+            self.impatient_count[vc_class] -= 1
         vc = self.free_by_class[vc_class].pop()
         self.holders[vc] = msg_id
         self.holder_hops[vc] = hop
@@ -156,6 +168,8 @@ class VirtualChannelPool:
         Returns the cancelled ``(msg_id, hop)`` pairs (patient requests
         stay queued in order).
         """
+        if not self.impatient_count[vc_class]:
+            return []
         queue = self.pending[vc_class]
         kept: Deque[Tuple[int, int, bool]] = deque()
         cancelled: List[Tuple[int, int]] = []
@@ -166,6 +180,8 @@ class VirtualChannelPool:
             else:
                 kept.append((msg_id, hop, impatient))
         queue.extend(kept)
+        self.pending_count -= len(cancelled)
+        self.impatient_count[vc_class] = 0
         return cancelled
 
     def release(self, vc: int) -> None:

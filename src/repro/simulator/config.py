@@ -2,10 +2,35 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-__all__ = ["SimulationConfig"]
+__all__ = ["SimulationConfig", "resolve_engine_kind"]
+
+
+def resolve_engine_kind(engine: str = "auto") -> str:
+    """Resolve an engine selector to ``"soa"`` or ``"reference"``.
+
+    ``"auto"`` defers to the ``REPRO_ENGINE`` environment variable and
+    defaults to the structure-of-arrays engine; both engines produce
+    bit-identical simulations, so the choice only affects speed.
+    Raises a :class:`ValueError` naming ``REPRO_ENGINE`` on bad input.
+    """
+    if engine in ("soa", "reference"):
+        return engine
+    if engine != "auto":
+        raise ValueError(
+            f"engine must be 'auto', 'soa' or 'reference', got {engine!r}"
+        )
+    raw = os.environ.get("REPRO_ENGINE", "").strip().lower()
+    if raw in ("", "auto", "soa"):
+        return "soa"
+    if raw == "reference":
+        return "reference"
+    raise ValueError(
+        f"REPRO_ENGINE must be 'soa' or 'reference', got {raw!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -73,6 +98,12 @@ class SimulationConfig:
         After measurement, the run is flagged saturated when fewer than
         this fraction of the messages generated during the measurement
         window completed in it (completion deficit = growing queues).
+    engine:
+        Cycle-engine implementation: ``"soa"`` (structure-of-arrays hot
+        path, the fast default), ``"reference"`` (the original
+        object-per-message engine, kept as the correctness oracle) or
+        ``"auto"`` (default) which follows ``$REPRO_ENGINE`` and falls
+        back to ``"soa"``.  Both produce bit-identical results.
     """
 
     k: int
@@ -92,6 +123,7 @@ class SimulationConfig:
     model_ejection: bool = False
     saturation_backlog_factor: float = 8.0
     min_drain_ratio: float = 0.85
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.k < 2:
@@ -144,6 +176,11 @@ class SimulationConfig:
         if not 0.0 < self.min_drain_ratio <= 1.0:
             raise ValueError(
                 f"min_drain_ratio must be in (0, 1], got {self.min_drain_ratio}"
+            )
+        if self.engine not in ("auto", "soa", "reference"):
+            raise ValueError(
+                f"engine must be 'auto', 'soa' or 'reference', got "
+                f"{self.engine!r}"
             )
         if self.hotspot_node is not None:
             if len(self.hotspot_node) != self.n:

@@ -127,6 +127,11 @@ class CycleEngine:
         self._pending_channels: set[int] = set()
         self._needs_reroute: List[Tuple[int, int]] = []
         self._last_progress_cycle = 0
+        self._watchdog_cycles = _DEADLOCK_WATCHDOG_CYCLES
+        # Allocation can only produce a grant after a new request or a
+        # VC release; between those events the phase is a fixed point
+        # (stuck FCFS queues stay stuck) and is skipped wholesale.
+        self._alloc_dirty = False
 
     # ------------------------------------------------------------------
     # Arrival / injection interface
@@ -171,6 +176,7 @@ class CycleEngine:
         impatient = head.dynamic and head.route_classes[0] >= 2
         self.pools[ch].request(head.msg_id, 0, head.route_classes[0], impatient)
         self._pending_channels.add(ch)
+        self._alloc_dirty = True
         self._head_requested[src] = True
 
     # ------------------------------------------------------------------
@@ -179,29 +185,48 @@ class CycleEngine:
     def _allocate_vcs(self) -> None:
         done = []
         # Injection grants can enqueue the next head's request (possibly
-        # on a new channel), so iterate over a snapshot; fresh requests
-        # are served next cycle.
-        for ch in list(self._pending_channels):
+        # on a new channel), so iterate over a snapshot; requests added
+        # to channels outside it are served next cycle.  The snapshot is
+        # *sorted* so within-cycle FCFS enqueue order is a function of
+        # the configuration alone — that is what lets the SoA engine
+        # reproduce this engine's arbitration decisions bit for bit.
+        messages = self.messages
+        self._alloc_dirty = False  # re-set by requests/releases below
+        for ch in sorted(self._pending_channels):
             pool = self.pools[ch]
+            pending = pool.pending
+            free_by_class = pool.free_by_class
             for cls in range(pool.num_classes):
-                while True:
+                if not pending[cls]:
+                    continue
+                if free_by_class[cls]:
                     grant = pool.grant_one(cls)
-                    if grant is None:
-                        break
-                    msg_id, hop, vc = grant
-                    msg = self.messages[msg_id]
-                    msg.vcs[hop] = vc
-                    msg.alloc_hops = hop + 1
-                    self._active_channels.add(ch)
-                    if hop == 0:
-                        self._on_injection_start(msg)
+                    while grant is not None:
+                        msg_id, hop, vc = grant
+                        self._on_grant(ch, messages[msg_id], hop, vc)
+                        grant = pool.grant_one(cls)
                 # Cancel unserved impatient requests; their messages
                 # re-evaluate against fresh VC availability next cycle.
-                self._needs_reroute.extend(pool.drain_impatient(cls))
+                if pool.impatient_count[cls]:
+                    self._needs_reroute.extend(pool.drain_impatient(cls))
             if not pool.has_pending():
                 done.append(ch)
+        pools = self.pools
         for ch in done:
-            self._pending_channels.discard(ch)
+            # Re-check before discarding: a grant later in this pass may
+            # have injected a fresh head request onto a channel that was
+            # drained earlier in the pass; dropping it then would orphan
+            # the request (and deadlock the source) forever.
+            if not pools[ch].has_pending():
+                self._pending_channels.discard(ch)
+
+    def _on_grant(self, ch: int, msg: Message, hop: int, vc: int) -> None:
+        """Bookkeeping for one VC grant (overridden by the SoA engine)."""
+        msg.vcs[hop] = vc
+        msg.alloc_hops = hop + 1
+        self._active_channels.add(ch)
+        if hop == 0:
+            self._on_injection_start(msg)
 
     def _on_injection_start(self, msg: Message) -> None:
         src = msg.src
@@ -232,16 +257,23 @@ class CycleEngine:
             msg.route_classes[hop] = cls
             self.pools[ch].request(msg.msg_id, hop, cls, impatient)
             self._pending_channels.add(ch)
+        self._alloc_dirty = True
 
     def _scan_moves(self) -> List[Tuple[Message, int]]:
+        # Channels are scanned in sorted id order (see _allocate_vcs for
+        # why determinism matters); lookups are hoisted out of the inner
+        # loop and the per-cycle snapshot list is the only allocation.
         moves: List[Tuple[Message, int]] = []
         depth = self.buffer_depth
         messages = self.messages
-        for ch in self._active_channels:
-            pool = self.pools[ch]
+        pools = self.pools
+        append = moves.append
+        for ch in sorted(self._active_channels):
+            pool = pools[ch]
             if pool.busy_count == 0:
                 continue
             holders = pool.holders
+            holder_hops = pool.holder_hops
             nv = pool.num_vcs
             start = pool.rr
             for i in range(nv):
@@ -252,20 +284,20 @@ class CycleEngine:
                 if mid < 0:
                     continue
                 msg = messages[mid]
-                hop = pool.holder_hops[v]
+                hop = holder_hops[v]
                 crossed = msg.crossed
                 sent = crossed[hop]
                 if hop == 0:
-                    if msg.length - sent <= 0:
+                    if msg.length <= sent:
                         continue
-                else:
-                    if crossed[hop - 1] - sent <= 0:
-                        continue
+                elif crossed[hop - 1] <= sent:
+                    continue
                 if hop != msg.final_hop:
-                    drained = crossed[hop + 1] if hop + 1 < len(crossed) else 0
+                    nxt = hop + 1
+                    drained = crossed[nxt] if nxt < len(crossed) else 0
                     if sent - drained >= depth:
                         continue
-                moves.append((msg, hop))
+                append((msg, hop))
                 pool.rr = v + 1 if v + 1 < nv else 0
                 break
         return moves
@@ -291,6 +323,7 @@ class CycleEngine:
                             msg.msg_id, hop + 1, cls, impatient
                         )
                         self._pending_channels.add(nxt_ch)
+                        self._alloc_dirty = True
                 elif hop + 1 < msg.num_hops:
                     # Header reached the next router: request the next VC.
                     nxt_ch = msg.route_channels[hop + 1]
@@ -298,6 +331,7 @@ class CycleEngine:
                         msg.msg_id, hop + 1, msg.route_classes[hop + 1]
                     )
                     self._pending_channels.add(nxt_ch)
+                    self._alloc_dirty = True
             if c == msg.length:
                 # Tail crossed this channel: it has left the upstream
                 # buffer, so the previous hop's VC drains free.
@@ -317,6 +351,7 @@ class CycleEngine:
         pool = self.pools[ch]
         pool.release(vc)
         msg.vcs[hop] = -1
+        self._alloc_dirty = True
         if pool.busy_count == 0:
             self._active_channels.discard(ch)
 
@@ -334,16 +369,16 @@ class CycleEngine:
         self._admit_arrivals()
         if self._needs_reroute:
             self._reroute_cancelled()
-        if self._pending_channels:
+        if self._alloc_dirty and self._pending_channels:
             self._allocate_vcs()
         moves = self._scan_moves() if self._active_channels else []
         if moves:
             self._apply_moves(moves)
             self._last_progress_cycle = self.cycle
         elif self.messages:
-            if self.cycle - self._last_progress_cycle > _DEADLOCK_WATCHDOG_CYCLES:
+            if self.cycle - self._last_progress_cycle > self._watchdog_cycles:
                 raise RuntimeError(
-                    f"no flit progress for {_DEADLOCK_WATCHDOG_CYCLES} cycles "
+                    f"no flit progress for {self._watchdog_cycles} cycles "
                     f"with {len(self.messages)} messages in flight — engine bug"
                 )
         else:
@@ -356,15 +391,27 @@ class CycleEngine:
         """True when nothing is in flight, queued or pending."""
         return not self.messages and not self._arrival_heap
 
-    def fast_forward_if_idle(self) -> None:
-        """Jump the clock to the next arrival when the network is empty.
+    def fast_forward_to(self, cycle: int) -> None:
+        """Jump an idle engine's clock forward to ``cycle``.
 
-        Only the clock moves; no cycles are "run", so counters and
-        utilisation denominators must use :attr:`EngineCounters.cycles_run`.
+        The skipped cycles *are* simulated — with nothing in flight or
+        queued, provably nothing can happen in them — so they count
+        towards :attr:`EngineCounters.cycles_run` exactly as if each
+        had been stepped; results and utilisation denominators are
+        unchanged by fast-forwarding.
         """
+        if self.messages or self._source_queues:
+            raise RuntimeError("cannot fast-forward with messages in flight")
+        if cycle <= self.cycle:
+            return
+        self.counters.cycles_run += cycle - self.cycle
+        self.cycle = cycle
+        self._last_progress_cycle = cycle
+
+    def fast_forward_if_idle(self) -> None:
+        """Jump the clock to the next scheduled arrival when empty."""
         if self.messages or self._source_queues:
             return
         nxt = self.next_arrival_cycle()
-        if nxt is not None and nxt > self.cycle:
-            self.cycle = nxt
-            self._last_progress_cycle = self.cycle
+        if nxt is not None:
+            self.fast_forward_to(nxt)

@@ -14,6 +14,14 @@ tail position are all derived from that vector:
 
 This representation is exact for wormhole switching with in-order flits
 and is what keeps a pure-Python flit-level simulation tractable.
+
+Only the reference engine advances ``crossed`` per flit.  The default
+structure-of-arrays engine (:mod:`repro.simulator.soa`) tracks flit
+progress in its own flat per-VC arrays and uses :class:`Message` as a
+thin view at injection, header-arrival, tail-departure and delivery
+boundaries; under that engine ``crossed`` stays at its initial zeros
+(``route_channels``, ``route_classes``, ``vcs`` and ``final_hop`` are
+kept current by both engines).
 """
 
 from __future__ import annotations

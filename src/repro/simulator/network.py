@@ -1,11 +1,21 @@
 """Workload wiring: topology + traffic pattern + cycle engine.
 
-:class:`TorusWorkload` owns the lazy arrival generation (one pending
-arrival per source, regenerated on admission, so memory stays O(N)
-regardless of run length; Poisson by default, bursty models via
-``arrival_model``), message construction (destination draw, route
-lookup or adaptive next-hop choice, hot/regular classification) and the
-delivery statistics.
+:class:`TorusWorkload` owns the arrival generation (one pending arrival
+per source, so memory stays O(N) regardless of run length; Poisson by
+default, bursty models via ``arrival_model``), message construction
+(destination draw, route lookup or adaptive next-hop choice,
+hot/regular classification) and the delivery statistics.
+
+Arrival gaps are pre-drawn in numpy blocks per source (each source owns
+a spawned child RNG) rather than one ``next_gap`` call per message;
+destination draws stay on the workload RNG in admission order, so a run
+is fully determined by ``config.seed`` for any engine and job count.
+
+The cycle engine is selected by ``config.engine`` /
+``$REPRO_ENGINE``: the structure-of-arrays engine
+(:class:`~repro.simulator.soa.SoACycleEngine`, default) or the
+reference engine (:class:`~repro.simulator.engine.CycleEngine`); the
+two are bit-identical in output.
 """
 
 from __future__ import annotations
@@ -16,16 +26,44 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.simulator.config import SimulationConfig
+from repro.simulator.config import SimulationConfig, resolve_engine_kind
 from repro.traffic.burst import ArrivalModel, ExponentialArrivals
 from repro.simulator.engine import CycleEngine
 from repro.simulator.flit import Message
+from repro.simulator.soa import SoACycleEngine
 from repro.simulator.router import RouteTable
 from repro.simulator.stats import BatchMeans, LatencyStats
 from repro.topology.kary_ncube import KAryNCube
 from repro.traffic.patterns import DestinationPattern, HotSpotPattern, UniformPattern
 
 __all__ = ["TorusWorkload"]
+
+
+class _GapStream:
+    """Block-buffered inter-arrival gaps for one source.
+
+    Pre-draws gaps from the source's arrival model in numpy blocks (one
+    vectorised RNG call per block for renewal models) instead of one
+    scalar draw per admitted message.
+    """
+
+    __slots__ = ("model", "rng", "_buf", "_pos")
+
+    _BLOCK = 256
+
+    def __init__(self, model: ArrivalModel, rng: np.random.Generator) -> None:
+        self.model = model
+        self.rng = rng
+        self._buf: List[float] = []
+        self._pos = 0
+
+    def next_gap(self) -> float:
+        if self._pos >= len(self._buf):
+            self._buf = self.model.sample_gaps(self.rng, self._BLOCK).tolist()
+            self._pos = 0
+        gap = self._buf[self._pos]
+        self._pos += 1
+        return gap
 
 
 class TorusWorkload:
@@ -77,7 +115,11 @@ class TorusWorkload:
             self.network.num_nodes if config.model_ejection else 0
         )
         adaptive = config.routing == "adaptive"
-        self.engine = CycleEngine(
+        self.engine_kind = resolve_engine_kind(config.engine)
+        engine_cls = (
+            CycleEngine if self.engine_kind == "reference" else SoACycleEngine
+        )
+        self.engine = engine_cls(
             num_channels=total_channels,
             num_vcs=config.num_vcs,
             buffer_depth=config.buffer_depth,
@@ -86,9 +128,10 @@ class TorusWorkload:
             adaptive=adaptive,
         )
         self._msg_seq = 0
-        # Lazy arrival generation: one pending arrival per source.
+        # Lazy arrival generation: one pending arrival per source, with
+        # gaps pre-drawn in blocks from a per-source child RNG.
         self._arrivals: List[Tuple[float, int]] = []
-        self._arrival_models: List[ArrivalModel] = []
+        self._arrival_models: List[_GapStream] = []
         effective_rate = (
             arrival_model.mean_rate if arrival_model is not None else config.rate
         )
@@ -96,10 +139,11 @@ class TorusWorkload:
             arrival_model = ExponentialArrivals(config.rate)
         self.effective_rate = effective_rate
         if arrival_model is not None and effective_rate > 0.0:
+            gap_rngs = self.rng.spawn(self.network.num_nodes)
             for src in range(self.network.num_nodes):
-                model = arrival_model.fresh()
-                self._arrival_models.append(model)
-                self._arrivals.append((model.next_gap(self.rng), src))
+                stream = _GapStream(arrival_model.fresh(), gap_rngs[src])
+                self._arrival_models.append(stream)
+                self._arrivals.append((stream.next_gap(), src))
             heapq.heapify(self._arrivals)
         # Statistics.
         self.warmup_end = config.warmup_cycles
@@ -232,7 +276,7 @@ class TorusWorkload:
                 self.measured_generated += 1
             self.engine.schedule_message(t, msg)
             heapq.heappush(
-                heap, (t + self._arrival_models[src].next_gap(self.rng), src)
+                heap, (t + self._arrival_models[src].next_gap(), src)
             )
 
     def _on_delivery(self, msg: Message, completion_cycle: int) -> None:
@@ -257,18 +301,34 @@ class TorusWorkload:
         backlog_limit = int(cfg.saturation_backlog_factor * cfg.num_nodes)
         total = cfg.total_cycles
         target = cfg.target_completions
+        warmup_end = self.warmup_end
+        # Hot loop: every attribute used per cycle is a local.
+        feed = self._feed_arrivals
+        step = engine.step
+        counters = engine.counters
+        all_stats = self.all_stats
+        heap = self._arrivals
         while engine.cycle < total:
-            if engine.cycle == self.warmup_end and self._flits_at_warmup is None:
+            if engine.cycle == warmup_end and self._flits_at_warmup is None:
                 self._flits_at_warmup = engine.channel_flit_counts.copy()
-                self._cycles_at_warmup = engine.counters.cycles_run
-            self._feed_arrivals()
-            engine.step()
-            if engine.counters.backlog > backlog_limit:
+                self._cycles_at_warmup = counters.cycles_run
+            feed()
+            step()
+            if counters.generated - counters.completed > backlog_limit:
                 break
-            if target is not None and self.all_stats.count >= target:
+            if target is not None and all_stats.count >= target:
                 break
-            if engine.idle():
-                engine.fast_forward_if_idle()
+            if heap and engine.idle():
+                # Fully idle network: jump the clock to the next pending
+                # (workload-side) arrival instead of stepping through
+                # empty cycles one by one, clamping at the warmup
+                # boundary so the snapshot above is still taken on the
+                # right cycle.  Skipped cycles count as run — see
+                # CycleEngine.fast_forward_to.
+                nxt = min(int(heap[0][0]), total)
+                if engine.cycle < warmup_end < nxt:
+                    nxt = warmup_end
+                engine.fast_forward_to(nxt)
         if self._flits_at_warmup is None:
             self._flits_at_warmup = engine.channel_flit_counts.copy()
             self._cycles_at_warmup = engine.counters.cycles_run

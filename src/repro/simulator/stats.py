@@ -89,9 +89,12 @@ class LatencyStats:
         self.total_hops += other.total_hops
 
 
-@dataclass
+@dataclass(slots=True)
 class BatchMeans:
     """Batch-means estimator of the steady-state mean latency.
+
+    A slots dataclass: :meth:`record` runs once per delivered message on
+    the simulator's hot path, so instances carry no ``__dict__``.
 
     Parameters
     ----------

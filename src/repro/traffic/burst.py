@@ -52,6 +52,19 @@ class ArrivalModel(abc.ABC):
     def next_gap(self, rng: np.random.Generator) -> float:
         """Time (cycles, continuous) from the current arrival to the next."""
 
+    def sample_gaps(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """``count`` consecutive inter-arrival gaps as a float array.
+
+        The workload pre-draws gaps in blocks through this method
+        instead of calling :meth:`next_gap` once per message; renewal
+        processes with a vectorisable gap distribution should override
+        it (memoryless state must still advance exactly as ``count``
+        sequential :meth:`next_gap` calls would).
+        """
+        return np.fromiter(
+            (self.next_gap(rng) for _ in range(count)), dtype=float, count=count
+        )
+
     @abc.abstractmethod
     def fresh(self) -> "ArrivalModel":
         """Independent copy with reset burst state (one per source)."""
@@ -72,6 +85,11 @@ class ExponentialArrivals(ArrivalModel):
 
     def next_gap(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(1.0 / self.rate))
+
+    def sample_gaps(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        # The process is memoryless, so one vectorised draw is exactly
+        # `count` sequential next_gap calls.
+        return rng.exponential(1.0 / self.rate, size=count)
 
     def fresh(self) -> "ExponentialArrivals":
         return ExponentialArrivals(self.rate)

@@ -123,7 +123,7 @@ class TestSimulatorIntegration:
         cfg = SimulationConfig(
             k=8,
             message_length=16,
-            rate=4e-3,
+            rate=2e-3,
             hotspot_fraction=0.3,
             warmup_cycles=2_000,
             measure_cycles=60_000,
@@ -132,6 +132,9 @@ class TestSimulatorIntegration:
         poisson = Simulation(cfg).run()
         bursty = Simulation(
             cfg,
-            arrival_model=OnOffArrivals(4e-3, burstiness=8.0, on_mean=2_000.0),
+            arrival_model=OnOffArrivals(2e-3, burstiness=8.0, on_mean=2_000.0),
         ).run()
+        # The comparison is only meaningful below saturation: an aborted
+        # (backlogged) run truncates its latency sample arbitrarily.
+        assert not poisson.saturated
         assert bursty.mean_latency > 0.9 * poisson.mean_latency

@@ -50,7 +50,13 @@ def test_warm_restart_converges_within_two_iterations(ab, damping):
     warm = solver.solve(update, cold.state)
     assert warm.status is FixedPointStatus.CONVERGED
     assert warm.iterations <= 2
-    assert np.allclose(warm.state, cold.state, rtol=1e-8, atol=1e-8)
+    # The solver's criterion bounds the *step*, not the distance to the
+    # fixed point: convergence stops once max|dx| < tol*(1 + max|x|), so
+    # the converged state can still sit tol*(1+|x|)*f/(1-f) away from
+    # the true fixed point, where f <= 1-damping+damping*|a| <= 0.97 is
+    # the damped contraction factor.  With |x| <= 1000 and tol=1e-10
+    # that is ~3e-6; the warm restart may legitimately move that far.
+    assert np.allclose(warm.state, cold.state, rtol=0.0, atol=1e-5)
 
 
 @settings(deadline=None, max_examples=30)
