@@ -36,6 +36,7 @@ __all__ = [
     "MAX_SLOWDOWN",
     "SimRun",
     "bench_model",
+    "bench_model_rates",
     "bench_sim_config",
     "build_report",
     "check_regression",
@@ -43,6 +44,7 @@ __all__ = [
     "default_report_name",
     "git_rev",
     "measure_model",
+    "measure_model_batch",
     "measure_simulator",
     "run_sim_once",
     "throughput_stats",
@@ -78,9 +80,24 @@ def bench_sim_config(
     )
 
 
-def bench_model() -> HotSpotLatencyModel:
+def bench_model(kernel: str = "auto") -> HotSpotLatencyModel:
     """The standard model-throughput benchmark instance."""
-    return HotSpotLatencyModel(k=16, message_length=32, hotspot_fraction=0.4)
+    return HotSpotLatencyModel(
+        k=16, message_length=32, hotspot_fraction=0.4, kernel=kernel
+    )
+
+
+def bench_model_rates() -> "np.ndarray":
+    """The standard panel-shaped rate grid of the batched model bench.
+
+    The Figure-1 ``h = 40%`` panel grid of
+    :mod:`repro.experiments.figures` — the exact shape a ``repro
+    figure`` invocation hands :meth:`HotSpotLatencyModel.sweep`, so the
+    ``model_batch`` metric measures real figure-regeneration work.
+    """
+    from repro.experiments.figures import get_panel
+
+    return np.asarray(get_panel("fig1_h40").rates, dtype=float)
 
 
 @dataclass(frozen=True)
@@ -144,9 +161,14 @@ def measure_simulator(
     }
 
 
-def measure_model(*, rounds: int = 3) -> Dict[str, float]:
-    """Best-of-``rounds`` analytical-model evaluation throughput."""
-    model = bench_model()
+def measure_model(*, rounds: int = 3, kernel: str = "auto") -> Dict[str, object]:
+    """Best-of-``rounds`` analytical-model evaluation throughput.
+
+    Times *independent single-rate solves* — the cost every
+    ``saturation_rate`` probe and every cold evaluation pays; the
+    batched figure-panel path is measured by :func:`measure_model_batch`.
+    """
+    model = bench_model(kernel)
     best = float("inf")
     for _ in range(max(1, rounds)):
         t0 = time.perf_counter()
@@ -154,7 +176,35 @@ def measure_model(*, rounds: int = 3) -> Dict[str, float]:
             result = model.evaluate(2e-4)
         best = min(best, time.perf_counter() - t0)
     assert result.finite
-    return {"solves_per_sec": _MODEL_EVALS / best, "seconds": best}
+    return {
+        "solves_per_sec": _MODEL_EVALS / best,
+        "seconds": best,
+        "kernel": model.kernel,
+    }
+
+
+def measure_model_batch(*, rounds: int = 3, kernel: str = "auto") -> Dict[str, object]:
+    """Best-of-``rounds`` throughput of a panel-shaped batched sweep.
+
+    One :meth:`HotSpotLatencyModel.sweep` over the standard panel grid
+    (:func:`bench_model_rates`) per timing round — with the vector
+    kernel the whole grid is a single batched fixed-point solve with
+    warm-start chaining, so this is the figure-regeneration metric.
+    """
+    model = bench_model(kernel)
+    rates = bench_model_rates()
+    best = float("inf")
+    for _ in range(max(1, rounds)):
+        t0 = time.perf_counter()
+        sweep = model.sweep(rates)
+        best = min(best, time.perf_counter() - t0)
+    assert len(sweep.points) == len(rates)
+    return {
+        "points_per_sec": len(rates) / best,
+        "points": int(len(rates)),
+        "seconds": best,
+        "kernel": model.kernel,
+    }
 
 
 def config_hash(cfg: SimulationConfig) -> str:
@@ -194,6 +244,7 @@ def build_report(
         "config_hash": config_hash(cfg),
         "simulator": measure_simulator(cfg, rounds=rounds),
         "model": measure_model(rounds=rounds),
+        "model_batch": measure_model_batch(rounds=rounds),
         "versions": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -223,9 +274,12 @@ def check_regression(
 ) -> List[str]:
     """Failure messages when ``report`` regressed vs ``baseline``.
 
-    Gates on simulator cycles/sec (the metric this repository's perf
-    work targets): a drop below ``baseline / max_slowdown`` fails.
-    Returns an empty list when the report is acceptable.
+    Gates on the two throughput metrics this repository's perf work
+    targets — simulator cycles/sec and analytical-model solves/sec: a
+    drop below ``baseline / max_slowdown`` on either fails.  Engine,
+    model-kernel or quick-mode mismatches are flagged as incomparable
+    rather than silently passed.  Returns an empty list when the report
+    is acceptable.
     """
     failures: List[str] = []
     try:
@@ -251,6 +305,42 @@ def check_regression(
         failures.append(
             f"simulator throughput regressed >{max_slowdown:g}x: "
             f"{new:,.0f} cycles/s vs baseline {old:,.0f} cycles/s "
+            f"(baseline rev {baseline.get('git_rev', '?')})"
+        )
+    try:
+        new_m = float(report["model"]["solves_per_sec"])  # type: ignore[index]
+        old_m = float(baseline["model"]["solves_per_sec"])  # type: ignore[index]
+    except (KeyError, TypeError, ValueError):
+        failures.append("baseline or report is missing model.solves_per_sec")
+        return failures
+    new_kernel = report["model"].get("kernel")  # type: ignore[index]
+    old_kernel = baseline["model"].get("kernel")  # type: ignore[index]
+    # Pre-kernel baselines (no "kernel" field) timed the only (scalar)
+    # implementation there was; only flag a mismatch when both sides
+    # declare a kernel.
+    if new_kernel is not None and old_kernel is not None and new_kernel != old_kernel:
+        failures.append(
+            f"model-kernel mismatch between report ({new_kernel}) and "
+            f"baseline ({old_kernel}): numbers are not comparable"
+        )
+    if new_m * max_slowdown < old_m:
+        failures.append(
+            f"model throughput regressed >{max_slowdown:g}x: "
+            f"{new_m:,.1f} solves/s vs baseline {old_m:,.1f} solves/s "
+            f"(baseline rev {baseline.get('git_rev', '?')})"
+        )
+    # The batched-panel metric gates too, where both sides record it
+    # (pre-batch baselines lack the section; the gates above still
+    # apply against them).
+    try:
+        new_b = float(report["model_batch"]["points_per_sec"])  # type: ignore[index]
+        old_b = float(baseline["model_batch"]["points_per_sec"])  # type: ignore[index]
+    except (KeyError, TypeError, ValueError):
+        return failures
+    if new_b * max_slowdown < old_b:
+        failures.append(
+            f"batched model throughput regressed >{max_slowdown:g}x: "
+            f"{new_b:,.1f} points/s vs baseline {old_b:,.1f} points/s "
             f"(baseline rev {baseline.get('git_rev', '?')})"
         )
     return failures

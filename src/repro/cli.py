@@ -314,7 +314,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"({sim['cycles_run']} cycles in {sim['seconds']:.3f}s, "
         f"{sim['completed']} deliveries)"
     )
-    print(f"model: {model['solves_per_sec']:,.1f} solves/s")
+    batch = report["model_batch"]
+    print(
+        f"model [{model['kernel']}]: {model['solves_per_sec']:,.1f} solves/s; "
+        f"batched panel ({batch['points']} pts): "
+        f"{batch['points_per_sec']:,.1f} points/s"
+    )
     print(f"config {report['config_hash']}  rev {report['git_rev']}")
     if args.output is not None:
         path = bench.write_report(report, args.output)

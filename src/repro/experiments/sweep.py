@@ -17,14 +17,18 @@ Parallel simulation
     at the first saturated point afterwards — the returned
     :class:`~repro.core.results.SweepResult` is identical either way.
 
-Warm-started model sweeps
+Batched, warm-started model sweeps
     Successive grid points differ only in the injection rate, so the
     fixed point at one rate is an excellent initial state for the next.
-    Model sweeps chain each converged state into the next solve via the
-    ``initial`` pass-through on
-    :meth:`~repro.core.model.HotSpotLatencyModel.evaluate`, cutting the
-    total fixed-point iterations of a figure sweep severalfold while
-    converging (to solver tolerance) on the same fixed points.
+    With the default vector model kernel a panel's whole rate grid is
+    *one* batched fixed-point solve
+    (:meth:`~repro.core.model.HotSpotLatencyModel.evaluate_batch` over
+    a ``points x variables`` state with per-point convergence masking)
+    and the warm-start chaining happens inside the batch along the rate
+    axis; under ``REPRO_MODEL_KERNEL=scalar`` the points chain
+    sequentially via the ``initial`` pass-through on
+    :meth:`~repro.core.model.HotSpotLatencyModel.evaluate`.  Both paths
+    converge (to solver tolerance) on the same fixed points.
 
 On-disk result cache
     Each simulated point is persisted as a small JSON file keyed by the

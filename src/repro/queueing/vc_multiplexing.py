@@ -22,59 +22,85 @@ bandwidth — is (eq 35)
 ``V`` as the channel saturates.  When ``lam*S >= 1`` the chain has no
 stationary distribution; the model pins the channel at full occupancy,
 returning ``V̄ = V``.
+
+Array-native: ``lam`` and ``service_time`` broadcast against each other,
+the occupancy axis is appended as the *last* axis of the result, and
+:func:`multiplexing_degree` / :func:`mean_busy_vcs` preserve scalarity
+(float in, float out).  The recurrence of eq (33) is evaluated as a
+cumulative product along the occupancy axis — the same sequential
+multiplications as the scalar loop, batched over every channel at once.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
-__all__ = ["vc_occupancy_probabilities", "multiplexing_degree"]
+__all__ = ["vc_occupancy_probabilities", "multiplexing_degree", "mean_busy_vcs"]
 
 
-def vc_occupancy_probabilities(lam: float, service_time: float, num_vcs: int) -> np.ndarray:
-    """Stationary probabilities ``P_0..P_V`` of the busy-VC count (eq 34)."""
+def _occupancy_weights(rho: np.ndarray, num_vcs: int) -> np.ndarray:
+    """Unnormalised eq (33) weights ``q_0..q_V`` along a new last axis.
+
+    ``rho`` entries at/above 1 produce a pinned distribution (all mass
+    on the full-occupancy state) after normalisation in the caller.
+    """
+    head = np.ones(rho.shape + (num_vcs,))
+    if num_vcs > 1:
+        head[..., 1:] = rho[..., None]
+        head = np.cumprod(head, axis=-1)  # [1, rho, rho^2, ..., rho^(V-1)]
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        tail = head[..., -1] * rho / (1.0 - rho)
+    return np.concatenate([head, tail[..., None]], axis=-1)
+
+
+def vc_occupancy_probabilities(lam, service_time, num_vcs: int) -> np.ndarray:
+    """Stationary probabilities ``P_0..P_V`` of the busy-VC count (eq 34).
+
+    Returns shape ``broadcast(lam, service_time).shape + (V+1,)``; the
+    scalar call keeps its original ``(V+1,)`` shape.
+    """
     if num_vcs < 1:
         raise ValueError(f"number of virtual channels must be >= 1, got {num_vcs}")
-    if lam < 0:
+    lam_a = np.asarray(lam, dtype=float)
+    s_a = np.asarray(service_time, dtype=float)
+    if np.any(lam_a < 0):
         raise ValueError(f"arrival rate must be non-negative, got {lam}")
-    if service_time < 0:
+    if np.any(s_a < 0):
         raise ValueError(f"service time must be non-negative, got {service_time}")
-    rho = lam * service_time
-    probs = np.zeros(num_vcs + 1)
-    if rho >= 1.0:
-        probs[num_vcs] = 1.0
-        return probs
-    q = np.empty(num_vcs + 1)
-    q[0] = 1.0
-    for v in range(1, num_vcs):
-        q[v] = q[v - 1] * rho
-    if num_vcs >= 1:
-        base = q[num_vcs - 1] if num_vcs > 1 else 1.0
-        q[num_vcs] = base * rho / (1.0 - rho)
-    total = q.sum()
-    return q / total
+    rho = np.asarray(lam_a * s_a)
+    q = _occupancy_weights(rho, num_vcs)
+    saturated = rho >= 1.0
+    if np.any(saturated):
+        pinned = np.zeros(num_vcs + 1)
+        pinned[num_vcs] = 1.0
+        q = np.where(saturated[..., None], pinned, q)
+    with np.errstate(invalid="ignore"):
+        probs = q / q.sum(axis=-1, keepdims=True)
+    return probs
 
 
-def multiplexing_degree(lam: float, service_time: float, num_vcs: int) -> float:
-    """Average multiplexing degree ``V̄`` of eq (35).
+def multiplexing_degree(lam, service_time, num_vcs: int):
+    """Average multiplexing degree ``V̄`` of eq (35), elementwise.
 
     Returns 1.0 at zero load (no multiplexing penalty) and ``num_vcs``
-    at/above saturation.
+    at/above saturation.  Scalar inputs return a ``float``.
     """
+    scalar = np.ndim(lam) == 0 and np.ndim(service_time) == 0
     probs = vc_occupancy_probabilities(lam, service_time, num_vcs)
     v = np.arange(num_vcs + 1, dtype=float)
-    denom = float(np.dot(v, probs))
-    if denom == 0.0:
-        # All mass at zero busy VCs: an arriving message multiplexes with
-        # nobody, so the degree is 1.
-        return 1.0
-    return float(np.dot(v * v, probs)) / denom
+    denom = probs @ v
+    with np.errstate(divide="ignore", invalid="ignore"):
+        degree = (probs @ (v * v)) / denom
+    # All mass at zero busy VCs: an arriving message multiplexes with
+    # nobody, so the degree is 1.
+    out = np.where(denom == 0.0, 1.0, degree)
+    return float(out) if scalar else out
 
 
-def mean_busy_vcs(lam: float, service_time: float, num_vcs: int) -> float:
+def mean_busy_vcs(lam, service_time, num_vcs: int):
     """Expected number of busy virtual channels, ``sum(v P_v)``."""
+    scalar = np.ndim(lam) == 0 and np.ndim(service_time) == 0
     probs = vc_occupancy_probabilities(lam, service_time, num_vcs)
     v = np.arange(num_vcs + 1, dtype=float)
-    return float(np.dot(v, probs))
+    out = probs @ v
+    return float(out) if scalar else out

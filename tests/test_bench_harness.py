@@ -31,6 +31,10 @@ class TestHarness:
         assert report["kind"] == "repro-bench"
         assert report["simulator"]["cycles_per_sec"] > 0
         assert report["model"]["solves_per_sec"] > 0
+        assert report["model"]["kernel"] in ("scalar", "vector")
+        assert report["model_batch"]["points_per_sec"] > 0
+        assert report["model_batch"]["points"] == len(bench.bench_model_rates())
+        assert report["model_batch"]["kernel"] == report["model"]["kernel"]
         assert len(report["config_hash"]) == 16
         path = bench.write_report(report, tmp_path)
         assert path.name.startswith("BENCH_")
@@ -38,22 +42,83 @@ class TestHarness:
             json.dumps(report)
         )
 
+    def test_measure_model_records_kernel(self):
+        out = bench.measure_model(rounds=1, kernel="vector")
+        assert out["kernel"] == "vector"
+        assert out["solves_per_sec"] > 0
+
+    def test_measure_model_batch_panel_shaped(self):
+        out = bench.measure_model_batch(rounds=1)
+        assert out["points"] >= 5
+        assert out["points_per_sec"] > 0
+
     def test_write_report_explicit_file(self, tmp_path):
         report = {"timestamp": "2026-01-01T00:00:00+00:00", "git_rev": "abc"}
         path = bench.write_report(report, tmp_path / "BENCH_x.json")
         assert path == tmp_path / "BENCH_x.json"
         assert path.exists()
 
+    @staticmethod
+    def _report(cycles, solves, kernel="vector", quick=True):
+        return {
+            "quick": quick,
+            "simulator": {"cycles_per_sec": cycles},
+            "model": {"solves_per_sec": solves, "kernel": kernel},
+        }
+
     def test_check_regression_pass_and_fail(self):
-        fast = {"quick": True, "simulator": {"cycles_per_sec": 50_000.0}}
-        slow = {"quick": True, "simulator": {"cycles_per_sec": 30_000.0}}
+        fast = self._report(50_000.0, 200.0)
+        slow = self._report(30_000.0, 150.0)
         # Within 2x either way: no failure.
         assert bench.check_regression(fast, slow) == []
         assert bench.check_regression(slow, fast) == []
-        crawl = {"quick": True, "simulator": {"cycles_per_sec": 4_000.0}}
+        crawl = self._report(4_000.0, 150.0)
         failures = bench.check_regression(crawl, fast)
         assert len(failures) == 1
         assert "regressed" in failures[0]
+
+    def test_check_regression_gates_model_solves(self):
+        fast = self._report(50_000.0, 200.0)
+        slow_model = self._report(50_000.0, 40.0)
+        failures = bench.check_regression(slow_model, fast)
+        assert len(failures) == 1
+        assert "model throughput regressed" in failures[0]
+
+    def test_check_regression_gates_batched_panel(self):
+        fast = self._report(50_000.0, 200.0)
+        fast["model_batch"] = {"points_per_sec": 1_000.0}
+        slow_batch = self._report(50_000.0, 200.0)
+        slow_batch["model_batch"] = {"points_per_sec": 100.0}
+        failures = bench.check_regression(slow_batch, fast)
+        assert len(failures) == 1
+        assert "batched model throughput regressed" in failures[0]
+        # Pre-batch baselines (no model_batch section) skip this gate.
+        assert bench.check_regression(fast, self._report(50_000.0, 200.0)) == []
+
+    def test_check_regression_model_kernel_mismatch(self):
+        vec = self._report(50_000.0, 200.0, kernel="vector")
+        sca = self._report(50_000.0, 150.0, kernel="scalar")
+        failures = bench.check_regression(sca, vec)
+        assert any("model-kernel mismatch" in f for f in failures)
+
+    def test_check_regression_tolerates_pre_kernel_baseline(self):
+        # PR-4-era baselines have no model.kernel field; the model gate
+        # still applies, only the kernel comparability check is skipped.
+        new = self._report(50_000.0, 200.0)
+        old = {
+            "quick": True,
+            "simulator": {"cycles_per_sec": 50_000.0},
+            "model": {"solves_per_sec": 20.0},
+        }
+        assert bench.check_regression(new, old) == []
+        failures = bench.check_regression(old | {"model": {"solves_per_sec": 20.0}}, new)
+        assert any("model throughput regressed" in f for f in failures)
+
+    def test_check_regression_missing_model_metrics(self):
+        new = self._report(50_000.0, 200.0)
+        old = {"quick": True, "simulator": {"cycles_per_sec": 50_000.0}}
+        failures = bench.check_regression(new, old)
+        assert any("model.solves_per_sec" in f for f in failures)
 
     def test_check_regression_quick_mismatch_flagged(self):
         quick = {"quick": True, "simulator": {"cycles_per_sec": 50_000.0}}
@@ -87,6 +152,7 @@ class TestCli:
                      "--output", str(out)]) == 0
         baseline = json.loads(out.read_text())
         baseline["simulator"]["cycles_per_sec"] /= 100.0
+        baseline["model"]["solves_per_sec"] /= 100.0
         out.write_text(json.dumps(baseline))
         assert main(["bench", "--quick", "--rounds", "1",
                      "--check", str(out)]) == 0

@@ -1,0 +1,310 @@
+"""Cross-kernel equivalence: vector model kernel vs scalar oracle.
+
+The array-native model kernel is only allowed to be *faster* than the
+per-channel-loop implementation, never different: over radix ``k``,
+message length ``Lm``, VC count ``V``, hot-spot fraction ``h``,
+blocking policy and offered load, both kernels must report the same
+saturation classification (bit-identical booleans) and latencies that
+agree to far below any physically meaningful tolerance — the only
+permitted divergence is floating-point summation order (loop-carried
+adds vs ``cumsum``/axis reductions), which the converged fixed point
+damps to ~1e-9 relative.
+
+A hypothesis property sweeps random configurations; pinned example
+matrices keep the (k, Lm, V, h) coverage even on --hypothesis-seed
+reruns.  Batched sweeps (warm-start chaining on) and the multi-probe
+saturation search are pinned against their sequential scalar
+counterparts too, since those paths rewire the solve structure, not
+just the arithmetic.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    BlockingServicePolicy,
+    HotSpotLatencyModel,
+    resolve_model_kernel,
+)
+from repro.core.uniform import UniformLatencyModel
+
+REL_TOL = 1e-7
+
+
+def make_pair(k, lm, h, vcs, policy="transmission", trip_averaging=True):
+    kwargs = dict(
+        k=k,
+        message_length=lm,
+        hotspot_fraction=h,
+        num_vcs=vcs,
+        blocking_service=policy,
+        trip_averaging=trip_averaging,
+    )
+    return (
+        HotSpotLatencyModel(kernel="scalar", **kwargs),
+        HotSpotLatencyModel(kernel="vector", **kwargs),
+    )
+
+
+def assert_results_match(a, b, label=""):
+    """Scalar result ``a`` vs vector result ``b`` for the same load."""
+    assert a.saturated == b.saturated, f"saturation classification split {label}"
+    assert a.rate == b.rate, label
+    if a.saturated:
+        assert math.isinf(a.latency) and math.isinf(b.latency), label
+        return
+    assert a.latency == pytest.approx(b.latency, rel=REL_TOL), label
+    assert a.max_utilization == pytest.approx(
+        b.max_utilization, rel=REL_TOL, abs=1e-12
+    ), label
+    assert a.mean_multiplexing_x == pytest.approx(
+        b.mean_multiplexing_x, rel=REL_TOL
+    ), label
+    assert a.mean_multiplexing_hot_ring == pytest.approx(
+        b.mean_multiplexing_hot_ring, rel=REL_TOL
+    ), label
+    assert a.mean_multiplexing_nonhot_ring == pytest.approx(
+        b.mean_multiplexing_nonhot_ring, rel=REL_TOL
+    ), label
+    if a.breakdown is not None:
+        assert b.breakdown is not None, label
+        assert a.breakdown.regular_total == pytest.approx(
+            b.breakdown.regular_total, rel=REL_TOL
+        ), label
+        assert a.breakdown.hot_total == pytest.approx(
+            b.breakdown.hot_total, rel=REL_TOL
+        ), label
+        assert a.breakdown.regular_source_wait == pytest.approx(
+            b.breakdown.regular_source_wait, rel=REL_TOL, abs=1e-12
+        ), label
+
+
+@st.composite
+def kernel_configs(draw):
+    k = draw(st.integers(3, 10))
+    lm = draw(st.integers(1, 48))
+    h = draw(st.sampled_from([0.0, 0.05, 0.2, 0.4, 0.7, 0.9]))
+    vcs = draw(st.integers(2, 6))
+    policy = draw(
+        st.sampled_from(["transmission", "holding", "entrance"])
+    )
+    trip = draw(st.booleans())
+    # Loads spanning light load to past saturation: scale by the
+    # hot-sink bandwidth bound (regular-path bound at h = 0).
+    if h > 0:
+        bound = 1.0 / (h * k * (k - 1) * (lm + 1))
+    else:
+        bound = 2.0 / ((k - 1) * (lm + 1))
+    frac = draw(st.sampled_from([0.0, 0.1, 0.5, 0.8, 1.5]))
+    return k, lm, h, vcs, policy, trip, frac * bound
+
+
+class TestEquivalenceProperty:
+    @given(cfg=kernel_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_vector_matches_scalar(self, cfg):
+        k, lm, h, vcs, policy, trip, rate = cfg
+        scalar, vector = make_pair(k, lm, h, vcs, policy, trip)
+        assert_results_match(
+            scalar.evaluate(rate), vector.evaluate(rate), f"cfg={cfg}"
+        )
+
+
+# (k, Lm, V, h) matrix pinned across hypothesis reruns; rates chosen at
+# light load, moderate load, near saturation, and past saturation.
+PINNED_MATRIX = [
+    (16, 32, 2, 0.2),
+    (16, 32, 2, 0.4),
+    (16, 100, 2, 0.7),
+    (16, 100, 4, 0.4),
+    (8, 16, 3, 0.0),
+    (8, 64, 2, 0.9),
+    (5, 1, 2, 0.5),
+    (3, 8, 6, 0.3),
+]
+
+
+class TestEquivalencePinned:
+    @pytest.mark.parametrize("k,lm,vcs,h", PINNED_MATRIX)
+    def test_pinned_case(self, k, lm, vcs, h):
+        scalar, vector = make_pair(k, lm, h, vcs)
+        if h > 0:
+            bound = 1.0 / (h * k * (k - 1) * (lm + 1))
+        else:
+            bound = 2.0 / ((k - 1) * (lm + 1))
+        for frac in (0.0, 0.25, 0.6, 0.9, 1.2, 3.0):
+            rate = frac * bound
+            assert_results_match(
+                scalar.evaluate(rate),
+                vector.evaluate(rate),
+                f"k={k} Lm={lm} V={vcs} h={h} rate={rate}",
+            )
+
+    @pytest.mark.parametrize("policy", list(BlockingServicePolicy))
+    def test_policies(self, policy):
+        scalar, vector = make_pair(8, 16, 0.4, 3, policy=policy)
+        for rate in (0.0, 2e-4, 8e-4, 2e-3, 1e-2):
+            assert_results_match(
+                scalar.evaluate(rate),
+                vector.evaluate(rate),
+                f"policy={policy} rate={rate}",
+            )
+
+    def test_warm_started_sweep_matches_scalar_sweep(self):
+        """The one-batch chained sweep must land on the scalar warm
+        sweep's curve: same saturation split (bit-identical flags),
+        latencies within solver tolerance."""
+        scalar, vector = make_pair(16, 32, 0.4, 2)
+        rates = np.linspace(0.0, 3.4e-4, 24)
+        s = scalar.sweep(rates, warm_start=True)
+        v = vector.sweep(rates, warm_start=True)
+        assert [p.saturated for p in s.points] == [
+            p.saturated for p in v.points
+        ]
+        for p, q in zip(s.points, v.points):
+            if not p.saturated:
+                assert q.latency == pytest.approx(p.latency, rel=REL_TOL)
+
+    def test_saturation_search_matches_bisection(self):
+        scalar, vector = make_pair(16, 32, 0.4, 2)
+        a = scalar.saturation_rate(hi=0.01, tol=1e-7)
+        b = vector.saturation_rate(hi=0.01, tol=1e-7)
+        # tol bounds the final *bracket width* (absolute, hi < 1), so
+        # the two searches' endpoints agree to within two brackets.
+        assert b == pytest.approx(a, abs=2e-7)
+        # And each endpoint classifies consistently across kernels.
+        assert scalar.evaluate(b).saturated and vector.evaluate(a).saturated
+
+
+class TestUniformEquivalence:
+    PINNED = [
+        (16, 2, 32, 2, "transmission"),
+        (8, 3, 16, 3, "transmission"),
+        (5, 2, 4, 2, "holding"),
+        (16, 2, 100, 2, "entrance"),
+        (4, 1, 8, 2, "transmission"),
+    ]
+
+    @pytest.mark.parametrize("k,n,lm,vcs,policy", PINNED)
+    def test_pinned_case(self, k, n, lm, vcs, policy):
+        kwargs = dict(
+            k=k, n=n, message_length=lm, num_vcs=vcs, blocking_service=policy
+        )
+        scalar = UniformLatencyModel(kernel="scalar", **kwargs)
+        vector = UniformLatencyModel(kernel="vector", **kwargs)
+        bound = 2.0 / (n * (k - 1) * (lm + 1))
+        for frac in (0.0, 0.2, 0.6, 0.9, 1.5):
+            rate = frac * bound
+            a, b = scalar.evaluate(rate), vector.evaluate(rate)
+            assert a.saturated == b.saturated, (k, n, lm, vcs, policy, rate)
+            if not a.saturated:
+                assert b.latency == pytest.approx(a.latency, rel=REL_TOL)
+                assert b.max_utilization == pytest.approx(
+                    a.max_utilization, rel=REL_TOL, abs=1e-12
+                )
+
+    def test_chained_sweep_matches(self):
+        scalar = UniformLatencyModel(k=16, n=2, message_length=32, kernel="scalar")
+        vector = UniformLatencyModel(k=16, n=2, message_length=32, kernel="vector")
+        rates = np.linspace(0.0, 1.6e-3, 20)
+        s, v = scalar.sweep(rates), vector.sweep(rates)
+        assert [p.saturated for p in s.points] == [p.saturated for p in v.points]
+        for p, q in zip(s.points, v.points):
+            if not p.saturated:
+                assert q.latency == pytest.approx(p.latency, rel=REL_TOL)
+
+
+class TestKernelSelection:
+    def test_default_is_vector(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MODEL_KERNEL", raising=False)
+        assert resolve_model_kernel() == "vector"
+        m = HotSpotLatencyModel(k=8, message_length=16, hotspot_fraction=0.2)
+        assert m.kernel == "vector"
+
+    def test_env_selects_scalar(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_KERNEL", "scalar")
+        m = HotSpotLatencyModel(k=8, message_length=16, hotspot_fraction=0.2)
+        assert m.kernel == "scalar"
+        u = UniformLatencyModel(k=8, n=2, message_length=16)
+        assert u.kernel == "scalar"
+
+    def test_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_KERNEL", "scalar")
+        m = HotSpotLatencyModel(
+            k=8, message_length=16, hotspot_fraction=0.2, kernel="vector"
+        )
+        assert m.kernel == "vector"
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_KERNEL", "simd")
+        with pytest.raises(ValueError, match="REPRO_MODEL_KERNEL"):
+            resolve_model_kernel()
+
+    def test_bad_argument_raises(self):
+        with pytest.raises(ValueError, match="kernel"):
+            HotSpotLatencyModel(
+                k=8, message_length=16, hotspot_fraction=0.2, kernel="simd"
+            )
+
+
+class TestBatchContract:
+    """evaluate_batch invariants beyond pointwise equivalence."""
+
+    def test_batch_matches_individual_evaluates(self):
+        model = HotSpotLatencyModel(k=8, message_length=16, hotspot_fraction=0.3)
+        rates = [0.0, 1e-4, 8e-4, 2e-3, 0.05]
+        batch = model.evaluate_batch(rates, chain=False)
+        for rate, res in zip(rates, batch):
+            solo = model.evaluate(rate)
+            assert res.saturated == solo.saturated
+            if not res.saturated:
+                assert res.latency == solo.latency  # identical solve path
+                assert res.iterations == solo.iterations
+
+    def test_unordered_rates_preserve_input_order(self):
+        model = HotSpotLatencyModel(k=8, message_length=16, hotspot_fraction=0.3)
+        rates = [8e-4, 0.0, 2e-4]
+        out = model.evaluate_batch(rates, chain=False)
+        assert [r.rate for r in out] == rates
+        assert out[1].iterations == 0  # zero load needs no solve
+
+    def test_initials_warm_start_batch(self):
+        model = HotSpotLatencyModel(k=8, message_length=16, hotspot_fraction=0.3)
+        cold = model.evaluate(5e-4)
+        warm = model.evaluate_batch(
+            [5e-4], initials=[cold.fixed_point_state], chain=False
+        )[0]
+        assert warm.iterations <= 2
+        assert warm.latency == pytest.approx(cold.latency, rel=1e-9)
+
+    def test_zero_rate_ignores_warm_initial(self):
+        """Rate 0 must use the exact zero-load state even when a warm
+        initial from a loaded solve is supplied (the scalar contract)."""
+        for model in (
+            HotSpotLatencyModel(k=8, message_length=16, hotspot_fraction=0.4),
+            UniformLatencyModel(k=8, n=2, message_length=16),
+        ):
+            loaded = model.evaluate(2e-4)
+            warm_zero = model.evaluate(0.0, initial=loaded.fixed_point_state)
+            assert warm_zero.latency == model.evaluate(0.0).latency
+            assert warm_zero.iterations == 0
+
+    def test_bad_initials_shape_raises(self):
+        model = HotSpotLatencyModel(k=8, message_length=16, hotspot_fraction=0.3)
+        with pytest.raises(ValueError, match="shape"):
+            model.evaluate_batch([1e-4], initials=[np.zeros(3)])
+        with pytest.raises(ValueError, match="initial states"):
+            model.evaluate_batch([1e-4, 2e-4], initials=[None])
+
+    def test_negative_rate_raises(self):
+        model = HotSpotLatencyModel(k=8, message_length=16, hotspot_fraction=0.3)
+        with pytest.raises(ValueError, match="non-negative"):
+            model.evaluate_batch([1e-4, -1e-4])
+
+    def test_empty_batch(self):
+        model = HotSpotLatencyModel(k=8, message_length=16, hotspot_fraction=0.3)
+        assert model.evaluate_batch([]) == []
