@@ -46,6 +46,7 @@ __all__ = [
     "measure_model",
     "measure_model_batch",
     "measure_simulator",
+    "measure_sweep",
     "run_sim_once",
     "throughput_stats",
     "write_report",
@@ -207,6 +208,44 @@ def measure_model_batch(*, rounds: int = 3, kernel: str = "auto") -> Dict[str, o
     }
 
 
+def measure_sweep(*, jobs: int = 2) -> Dict[str, object]:
+    """End-to-end throughput of a small parallel sweep campaign.
+
+    Runs a tiny uncached panel through the resilient sweep engine
+    (``jobs`` pool workers, short measurement window) and reports
+    points/sec plus the engine's resilience counters — retries, timeouts,
+    pool rebuilds and terminally failed points — so a campaign that only
+    succeeded by retrying shows up in the BENCH report rather than
+    passing silently.
+    """
+    from repro.experiments.figures import PanelSpec
+    from repro.experiments.sweep import SweepEngine
+
+    spec = PanelSpec(
+        figure=1,
+        name="bench_sweep",
+        k=4,
+        message_length=8,
+        hotspot_fraction=0.2,
+        rates=(0.002, 0.01, 0.02),
+        paper_axis_max_rate=0.02,
+        paper_axis_max_latency=200.0,
+    )
+    engine = SweepEngine(jobs=jobs, use_cache=False)
+    t0 = time.perf_counter()
+    sweep = engine.simulation_sweep(spec, measure_cycles=2_000)
+    seconds = time.perf_counter() - t0
+    points = len(sweep.points)
+    return {
+        "points": points,
+        "points_per_sec": points / seconds if seconds > 0 else 0.0,
+        "seconds": seconds,
+        "jobs": jobs,
+        "failed_points": len(sweep.failures),
+        **engine.stats.as_dict(),
+    }
+
+
 def config_hash(cfg: SimulationConfig) -> str:
     """Stable short hash of a simulation config (cache-key compatible)."""
     blob = json.dumps(asdict(cfg), sort_keys=True, default=str)
@@ -245,6 +284,7 @@ def build_report(
         "simulator": measure_simulator(cfg, rounds=rounds),
         "model": measure_model(rounds=rounds),
         "model_batch": measure_model_batch(rounds=rounds),
+        "resilience": measure_sweep(),
         "versions": {
             "python": platform.python_version(),
             "numpy": np.__version__,

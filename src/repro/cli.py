@@ -17,6 +17,15 @@ to ``--jobs 1``), and completed points are cached on disk under
 ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro/sweeps``) so re-running a
 figure is near-free; ``--no-cache`` bypasses the cache.
 
+Sweeps are fault-tolerant: each simulation point is retried up to
+``--max-retries`` times with capped exponential backoff (retried points
+re-run the same per-point seed, so results stay bit-identical), a hung
+point is killed after ``--point-timeout`` seconds, and every completed
+point is checkpointed to a JSONL journal next to the cache — an
+interrupted ``panel``/``figure`` run re-invoked with ``--resume`` picks
+up where it left off.  Points that exhaust their retry budget are
+reported per panel instead of aborting the figure.
+
 Examples
 --------
 ::
@@ -126,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bypass the on-disk sweep result cache")
         p.add_argument("--seed", type=int, default=42,
                        help="base seed for the per-point simulation seeds")
+        p.add_argument("--max-retries", type=int, default=2, metavar="N",
+                       help="extra attempts per simulation point (default 2)")
+        p.add_argument("--point-timeout", type=float, default=None,
+                       metavar="SECS",
+                       help="wall-clock seconds per point attempt before the "
+                       "worker is presumed hung (needs --jobs > 1)")
+        p.add_argument("--resume", action="store_true",
+                       help="restore checkpointed points of an interrupted "
+                       "run from the campaign journal")
         p.add_argument("--plot", action="store_true")
 
     p_panel = sub.add_parser("panel", help="regenerate a paper figure panel")
@@ -258,11 +276,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _sweep_engine(args: argparse.Namespace) -> SweepEngine:
-    return SweepEngine(jobs=args.jobs, use_cache=not args.no_cache)
+    return SweepEngine(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        max_retries=args.max_retries,
+        point_timeout=args.point_timeout,
+        resume=args.resume,
+    )
 
 
 def _print_panel(result, args: argparse.Namespace) -> None:
     print(format_panel_table(result))
+    sim = result.simulation
+    if sim is not None and sim.failures:
+        for f in sim.failures:
+            print(f"FAILED point {f.index} (rate {f.rate:g}): {f.kind} "
+                  f"after {f.attempts} attempt(s)"
+                  + (f" — {f.message}" if f.message else ""))
     if args.simulate:
         m = shape_metrics(result)
         print(f"\nmean relative error (light/moderate load): "
@@ -275,24 +305,36 @@ def _print_panel(result, args: argparse.Namespace) -> None:
         print(plot_sweeps(sweeps))
 
 
+def _print_resilience(engine: SweepEngine) -> None:
+    stats = engine.stats
+    if stats.eventful:
+        print(f"\nresilience: {stats.retries} retries, {stats.timeouts} "
+              f"timeouts, {stats.pool_rebuilds} pool rebuilds, "
+              f"{stats.failures} failed points")
+
+
 def _cmd_panel(args: argparse.Namespace) -> int:
     spec = get_panel(args.name)
-    result = _sweep_engine(args).run_panel(
+    engine = _sweep_engine(args)
+    result = engine.run_panel(
         spec, simulate=args.simulate, seed=args.seed, measure_cycles=args.cycles
     )
     _print_panel(result, args)
+    _print_resilience(engine)
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     specs = panels_of_figure(args.number)
-    results = _sweep_engine(args).run_panels(
+    engine = _sweep_engine(args)
+    results = engine.run_panels(
         specs, simulate=args.simulate, seed=args.seed, measure_cycles=args.cycles
     )
     for i, spec in enumerate(specs):
         if i:
             print()
         _print_panel(results[spec.name], args)
+    _print_resilience(engine)
     return 0
 
 
@@ -320,6 +362,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"batched panel ({batch['points']} pts): "
         f"{batch['points_per_sec']:,.1f} points/s"
     )
+    res = report.get("resilience")
+    if res is not None:
+        print(
+            f"sweep [{res['jobs']} jobs]: {res['points_per_sec']:,.1f} "
+            f"points/s ({res['points']} pts in {res['seconds']:.3f}s; "
+            f"{res['retries']} retries, {res['pool_rebuilds']} rebuilds, "
+            f"{res['failed_points']} failed)"
+        )
     print(f"config {report['config_hash']}  rev {report['git_rev']}")
     if args.output is not None:
         path = bench.write_report(report, args.output)

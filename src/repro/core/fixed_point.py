@@ -51,6 +51,7 @@ __all__ = [
     "FixedPointResult",
     "BatchFixedPointResult",
     "FixedPointSolver",
+    "UpdateFailure",
     "solve_batch_with_fallback",
 ]
 
@@ -59,6 +60,24 @@ class FixedPointStatus(enum.Enum):
     CONVERGED = "converged"
     SATURATED = "saturated"
     MAX_ITERATIONS = "max_iterations"
+    #: The update map raised :class:`UpdateFailure` (a numerical failure
+    #: or an injected fault) — the point is a failure *record*, not a
+    #: propagated abort, and in a batch only the raising rows carry it.
+    FAILED = "failed"
+
+
+class UpdateFailure(Exception):
+    """Raised by an update map to fail one fixed point (one batch row).
+
+    The solver converts it into a :data:`FixedPointStatus.FAILED` record
+    for exactly the affected point instead of aborting the whole solve:
+    a scalar :meth:`FixedPointSolver.solve` returns a FAILED result, a
+    batched :meth:`FixedPointSolver.solve_batch` retires only the rows
+    whose update raised and keeps iterating the rest.  Any other
+    exception type still propagates — only deliberate failures (and the
+    fault-injection harness's :class:`~repro.faults.InjectedFault`,
+    which subclasses this) get the record treatment.
+    """
 
 
 @dataclass(frozen=True)
@@ -195,7 +214,17 @@ class FixedPointSolver:
             raise ValueError("initial state must be finite")
         residual = np.inf
         for i in range(1, self.max_iterations + 1):
-            fx = np.asarray(update(x), dtype=float)
+            try:
+                if i == 1:
+                    _maybe_injected_solver_fault()
+                fx = np.asarray(update(x), dtype=float)
+            except UpdateFailure:
+                return FixedPointResult(
+                    status=FixedPointStatus.FAILED,
+                    state=x,
+                    iterations=i,
+                    residual=np.inf,
+                )
             if fx.shape != x.shape:
                 raise ValueError(
                     f"update changed state shape {x.shape} -> {fx.shape}"
@@ -340,9 +369,30 @@ class FixedPointSolver:
         x = out.states
         active = np.zeros(x.shape[0], dtype=bool)
         active[rows] = True
+        flags = _injected_solver_fault_flags(len(rows))
+        if flags is not None:
+            bad = rows[np.asarray(flags, dtype=bool)]
+            if bad.size:
+                out.status[bad] = FixedPointStatus.FAILED
+                out.iterations[bad] = 0
+                out.residuals[bad] = np.inf
+                active[bad] = False
+                if not active.any():
+                    return
         for i in range(1, self.max_iterations + 1):
             idx = np.flatnonzero(active)
-            fx = np.asarray(update(x[idx], idx), dtype=float)
+            try:
+                fx = np.asarray(update(x[idx], idx), dtype=float)
+            except UpdateFailure:
+                # One (or more) rows failed: isolate them row by row so
+                # they become FAILED records while the rest keep going.
+                idx, fx = self._isolate_update_failures(
+                    update, x, idx, out, i, active
+                )
+                if idx.size == 0:
+                    if not active.any():
+                        return
+                    continue
             if fx.shape != (len(idx), x.shape[1]):
                 raise ValueError(
                     f"update changed state shape {(len(idx), x.shape[1])} "
@@ -374,3 +424,55 @@ class FixedPointSolver:
                     active[conv_rows] = False
             if not active.any():
                 return
+
+    def _isolate_update_failures(
+        self,
+        update: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        x: np.ndarray,
+        idx: np.ndarray,
+        out: BatchFixedPointResult,
+        i: int,
+        active: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Re-run a raising batched update row by row.
+
+        Rows whose update raises :class:`UpdateFailure` are retired as
+        FAILED records; the survivors' updates are reassembled so the
+        batch iteration continues without them.  Returns the surviving
+        ``(idx, fx)`` pair (possibly empty).
+        """
+        keep: "list[int]" = []
+        fx_rows: "list[np.ndarray]" = []
+        for r in idx:
+            row_idx = np.asarray([r])
+            try:
+                fr = np.asarray(update(x[row_idx], row_idx), dtype=float)
+            except UpdateFailure:
+                out.status[r] = FixedPointStatus.FAILED
+                out.iterations[r] = i
+                out.residuals[r] = np.inf
+                active[r] = False
+            else:
+                keep.append(int(r))
+                fx_rows.append(fr.reshape(-1))
+        if not keep:
+            return np.empty(0, dtype=np.int64), np.empty((0, x.shape[1]))
+        return np.asarray(keep, dtype=np.int64), np.vstack(fx_rows)
+
+
+def _maybe_injected_solver_fault() -> None:
+    """Fault-injection hook for scalar solves (no-op without a plan).
+
+    Imported lazily so :mod:`repro.faults` (which imports this module
+    for :class:`UpdateFailure`) never forms an import cycle.
+    """
+    from repro.faults import maybe_solver_fault
+
+    maybe_solver_fault()
+
+
+def _injected_solver_fault_flags(count: int) -> "list[bool] | None":
+    """Per-row fault-injection flags for batched solves (lazy import)."""
+    from repro.faults import solver_fault_flags
+
+    return solver_fault_flags(count)

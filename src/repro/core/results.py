@@ -8,7 +8,15 @@ from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["LatencyBreakdown", "ModelResult", "SweepPoint", "SweepResult"]
+from repro.resilience import PointFailure
+
+__all__ = [
+    "LatencyBreakdown",
+    "ModelResult",
+    "PointFailure",
+    "SweepPoint",
+    "SweepResult",
+]
 
 
 @dataclass(frozen=True)
@@ -110,10 +118,20 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """A latency-vs-load curve produced by a model or simulator."""
+    """A latency-vs-load curve produced by a model or simulator.
+
+    ``failures`` records grid points that could not be computed after
+    exhausting the engine's retry budget (worker crash, per-point
+    timeout, or a raised exception) as structured
+    :class:`~repro.resilience.PointFailure` records — a failed point is
+    skipped in ``points`` (the curve keeps its completed samples)
+    instead of aborting the whole sweep.  Fault-free sweeps always have
+    an empty ``failures`` list, so result equality is unchanged.
+    """
 
     label: str
     points: List[SweepPoint] = field(default_factory=list)
+    failures: List[PointFailure] = field(default_factory=list)
 
     @property
     def rates(self) -> List[float]:

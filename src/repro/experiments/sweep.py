@@ -1,4 +1,4 @@
-"""Parallel, cached, warm-started sweep engine for figure regeneration.
+"""Parallel, cached, warm-started, fault-tolerant sweep engine.
 
 Every figure of the paper is a *load sweep*: the analytical model and
 the flit-level simulator evaluated over a grid of injection rates.  The
@@ -17,30 +17,51 @@ Parallel simulation
     at the first saturated point afterwards — the returned
     :class:`~repro.core.results.SweepResult` is identical either way.
 
+Fault tolerance
+    Points run under a :class:`~repro.resilience.ResilientExecutor`:
+    every attempt gets a wall-clock timeout (``point_timeout``), failed
+    attempts are retried with capped exponential backoff
+    (``max_retries``), a crashed worker rebuilds the pool and resubmits
+    only the unfinished points, and each completed point is cached and
+    journaled the moment its future resolves — one worker death no
+    longer discards a panel's finished points.  Retries are
+    deterministic: a retried point re-runs the same per-point seed, so
+    a faulty campaign produces bit-identical points to a fault-free
+    one.  Terminal failures become structured
+    :class:`~repro.resilience.PointFailure` records on
+    ``SweepResult.failures`` instead of a lost panel.  The
+    fault-injection harness (:mod:`repro.faults`, ``REPRO_FAULTS``)
+    chaos-tests exactly these paths.
+
+Resumable campaigns
+    :meth:`SweepEngine.run_panels` (and :meth:`run_panel`) append every
+    point's status to a JSONL checkpoint journal
+    (:class:`~repro.resilience.CheckpointJournal`) under
+    ``<cache dir>/journal/<campaign-hash>.jsonl``.  An interrupted
+    campaign re-run with ``resume=True`` (CLI ``--resume``) restores
+    every checkpointed point from the journal — even with the result
+    cache disabled — and computes only the remainder.
+
 Batched, warm-started model sweeps
     Successive grid points differ only in the injection rate, so the
     fixed point at one rate is an excellent initial state for the next.
     With the default vector model kernel a panel's whole rate grid is
-    *one* batched fixed-point solve
-    (:meth:`~repro.core.model.HotSpotLatencyModel.evaluate_batch` over
-    a ``points x variables`` state with per-point convergence masking)
-    and the warm-start chaining happens inside the batch along the rate
-    axis; under ``REPRO_MODEL_KERNEL=scalar`` the points chain
-    sequentially via the ``initial`` pass-through on
-    :meth:`~repro.core.model.HotSpotLatencyModel.evaluate`.  Both paths
-    converge (to solver tolerance) on the same fixed points.
+    *one* batched fixed-point solve with per-point convergence masking;
+    under ``REPRO_MODEL_KERNEL=scalar`` the points chain sequentially
+    via the ``initial`` pass-through.  Both paths converge (to solver
+    tolerance) on the same fixed points.
 
 On-disk result cache
     Each simulated point is persisted as a small JSON file keyed by the
     SHA-256 hash of its full :class:`~repro.simulator.config
-    .SimulationConfig` (plus a cache-format version), so re-running a
-    figure is near-free.  The cache lives in ``$REPRO_CACHE_DIR`` when
-    set, else ``~/.cache/repro/sweeps``.  Invalidation is automatic:
-    any change to a configuration field (including seed, warmup or
-    measurement window) changes the key, and bumping
-    ``_CACHE_VERSION`` orphans every older entry.  Deleting the
-    directory is always safe; ``use_cache=False`` (CLI ``--no-cache``)
-    bypasses it entirely.
+    .SimulationConfig` (plus a cache-format version).  Entries carry a
+    schema version and a payload checksum *in the body*: corrupt,
+    truncated or stale-schema files are quarantined to a ``corrupt/``
+    subdirectory (and the point recomputed) rather than silently
+    ignored, and stale ``*.tmp`` files left by interrupted writers are
+    swept on engine startup.  The cache lives in ``$REPRO_CACHE_DIR``
+    when set, else ``~/.cache/repro/sweeps``; ``use_cache=False`` (CLI
+    ``--no-cache``) bypasses it entirely.
 
 The legacy entry points :func:`repro.experiments.runner.run_panel` and
 ``run_panel_model_only`` delegate here with ``jobs=1`` — the sequential
@@ -53,20 +74,29 @@ import hashlib
 import json
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass, field
+import time
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.core.model import HotSpotLatencyModel
 from repro.core.results import SweepPoint, SweepResult
 from repro.experiments.figures import PanelSpec
+from repro.resilience import (
+    CheckpointJournal,
+    ExecutorStats,
+    PointFailure,
+    ResilientExecutor,
+    RetryPolicy,
+)
 from repro.simulator.config import SimulationConfig
 from repro.simulator.sim import Simulation
 
 __all__ = [
     "PanelResult",
     "SweepEngine",
+    "config_key",
     "default_cache_dir",
     "point_seed",
     "sim_jobs",
@@ -74,7 +104,16 @@ __all__ = [
 ]
 
 #: Bump to orphan every existing cache entry (format or semantics change).
-_CACHE_VERSION = 1
+#: Version 2 added the in-body schema/checksum envelope.
+_CACHE_VERSION = 2
+
+#: ``*.tmp`` files in the cache older than this are orphans of an
+#: interrupted writer and are removed on engine startup (young ones may
+#: belong to a concurrently running campaign).
+_TMP_MAX_AGE_SECONDS = 600.0
+
+#: Bump when the checkpoint-journal campaign format changes.
+_JOURNAL_VERSION = 1
 
 
 def default_cache_dir() -> Path:
@@ -140,6 +179,13 @@ def point_seed(base_seed: int, panel: str, index: int) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+def config_key(cfg: SimulationConfig) -> str:
+    """SHA-256 cache/journal key of a full simulation configuration."""
+    payload = {"version": _CACHE_VERSION, "config": asdict(cfg)}
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 @dataclass
 class PanelResult:
     """Paired model/simulation curves for one panel."""
@@ -162,46 +208,139 @@ class PanelResult:
         return rows
 
 
-def _simulate_point(cfg: SimulationConfig) -> SweepPoint:
-    """Process-pool worker: one simulation run -> one sweep point."""
+def _simulate_point(cfg: SimulationConfig, attempt: int = 0) -> SweepPoint:
+    """Process-pool worker: one simulation run -> one sweep point.
+
+    ``attempt`` feeds the deterministic fault-injection harness only
+    (crash/hang draws are keyed on the point seed *and* the attempt, so
+    a retried point draws afresh); the simulation itself depends solely
+    on ``cfg``, which is what keeps retried results bit-identical.
+    """
+    faults.on_point_attempt(cfg.seed, attempt)
     res = Simulation(cfg).run()
     latency = math.inf if res.saturated else res.mean_latency
     return SweepPoint(rate=cfg.rate, latency=latency, saturated=res.saturated)
 
 
+def _payload_checksum(payload: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 class _SweepCache:
-    """One JSON file per simulated point, keyed by the config hash."""
+    """One JSON file per simulated point, keyed by the config hash.
+
+    Entry bodies are versioned and checksummed::
+
+        {"schema": 2, "payload": {rate, latency, saturated}, "checksum": ...}
+
+    :meth:`get` validates schema version, checksum and field types; any
+    corrupt, truncated or stale-schema entry is *quarantined* — moved to
+    ``<root>/corrupt/<key>.<reason>.json`` so the damage stays
+    inspectable — and the point recomputed.  Reads never raise.
+    """
 
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
 
     def _path(self, cfg: SimulationConfig) -> Path:
-        payload = {"version": _CACHE_VERSION, "config": asdict(cfg)}
-        blob = json.dumps(payload, sort_keys=True, default=str)
-        key = hashlib.sha256(blob.encode()).hexdigest()
-        return self.root / f"{key}.json"
+        return self.root / f"{config_key(cfg)}.json"
+
+    def clean_stale_tmp(self, max_age: float = _TMP_MAX_AGE_SECONDS) -> int:
+        """Remove orphaned ``*.tmp`` files left by interrupted writers.
+
+        Only files older than ``max_age`` seconds go (a young tmp may
+        belong to a concurrently running writer).  Returns the count
+        removed; never raises.
+        """
+        try:
+            candidates = list(self.root.glob("*.tmp"))
+        except OSError:
+            return 0
+        removed = 0
+        now = time.time()
+        for tmp in candidates:
+            try:
+                if now - tmp.stat().st_mtime >= max_age:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry to ``corrupt/`` (best-effort, never raises)."""
+        try:
+            dest_dir = self.root / "corrupt"
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            path.replace(dest_dir / f"{path.stem}.{reason}.json")
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def get(self, cfg: SimulationConfig) -> Optional[SweepPoint]:
+        path = self._path(cfg)
         try:
-            data = json.loads(self._path(cfg).read_text())
-            return SweepPoint(
-                rate=float(data["rate"]),
-                latency=float(data["latency"]),
-                saturated=bool(data["saturated"]),
-            )
-        except (OSError, ValueError, KeyError, TypeError):
+            raw = path.read_text()
+        except OSError:
+            return None  # plain miss
+        except UnicodeDecodeError:
+            self._quarantine(path, "parse")
             return None
+        try:
+            data = json.loads(raw)
+        except ValueError:
+            self._quarantine(path, "parse")
+            return None
+        if not isinstance(data, dict) or data.get("schema") != _CACHE_VERSION:
+            self._quarantine(path, "schema")
+            return None
+        payload = data.get("payload")
+        if not isinstance(payload, dict) or data.get(
+            "checksum"
+        ) != _payload_checksum(payload):
+            self._quarantine(path, "checksum")
+            return None
+        rate = payload.get("rate")
+        latency = payload.get("latency")
+        saturated = payload.get("saturated")
+        if (
+            not _is_number(rate)
+            or not _is_number(latency)
+            or not isinstance(saturated, bool)
+        ):
+            self._quarantine(path, "fields")
+            return None
+        return SweepPoint(
+            rate=float(rate), latency=float(latency), saturated=saturated
+        )
 
     def put(self, cfg: SimulationConfig, point: SweepPoint) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(cfg)
+        payload = {
+            "rate": point.rate,
+            "latency": point.latency,
+            "saturated": point.saturated,
+        }
         body = json.dumps(
             {
-                "rate": point.rate,
-                "latency": point.latency,
-                "saturated": point.saturated,
-            }
+                "schema": _CACHE_VERSION,
+                "payload": payload,
+                "checksum": _payload_checksum(payload),
+            },
+            sort_keys=True,
         )
+        # Chaos hook: the fault harness may hand back a truncated body,
+        # which the next get() must quarantine and recompute.
+        body = faults.corrupt_cache_body(path.stem, body)
         # Unique tmp per writer: concurrent processes computing the same
         # point must not clobber each other's half-written file.
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
@@ -209,18 +348,12 @@ class _SweepCache:
         tmp.replace(path)
 
 
-@dataclass
-class _PendingPanel:
-    """Book-keeping for one panel while its points are in flight."""
-
-    spec: PanelSpec
-    cfgs: List[SimulationConfig]
-    points: List[Optional[SweepPoint]]
-    futures: Dict[int, "object"] = field(default_factory=dict)
+#: Campaign-internal point key: ``(panel name, grid index)``.
+_PointKey = Tuple[str, int]
 
 
 class SweepEngine:
-    """Runs model/simulation load sweeps: parallel, warm-started, cached.
+    """Runs model/simulation load sweeps: parallel, resilient, cached.
 
     Parameters
     ----------
@@ -233,11 +366,33 @@ class SweepEngine:
     use_cache:
         Consult/populate the on-disk point cache (see module docstring).
     cache_dir:
-        Cache root; defaults to :func:`default_cache_dir`.
+        Cache root; defaults to :func:`default_cache_dir`.  Also hosts
+        the campaign checkpoint journals (``journal/`` subdirectory).
     warm_start:
         Chain each model point's converged fixed-point state into the
         next rate's solve (identical results to solver tolerance, far
         fewer iterations).
+    max_retries:
+        Extra attempts per simulation point after the first (default 2).
+        Retried points re-run the same per-point seed, so results stay
+        bit-identical to a fault-free run; a point that exhausts its
+        budget becomes a :class:`~repro.resilience.PointFailure` record
+        on ``SweepResult.failures``.
+    point_timeout:
+        Wall-clock seconds per point attempt (``jobs > 1`` only; the
+        sequential path cannot interrupt itself).  A timed-out worker is
+        presumed hung, terminated, and its point retried on a rebuilt
+        pool.  ``None`` (default) disables the deadline.
+    backoff_base:
+        Base of the capped exponential retry backoff (seconds).
+    resume:
+        Default for :meth:`run_panels`'s ``resume``: restore
+        checkpointed points from the campaign journal instead of
+        recomputing them.
+
+    ``stats`` accumulates :class:`~repro.resilience.ExecutorStats`
+    (retries, timeouts, pool rebuilds, terminal failures) across this
+    engine's campaigns.
 
     Examples
     --------
@@ -255,16 +410,28 @@ class SweepEngine:
         use_cache: bool = True,
         cache_dir: "Path | str | None" = None,
         warm_start: bool = True,
+        max_retries: int = 2,
+        point_timeout: Optional[float] = None,
+        backoff_base: float = 0.05,
+        resume: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
         self.warm_start = bool(warm_start)
-        self.cache = (
-            _SweepCache(Path(cache_dir) if cache_dir is not None else default_cache_dir())
-            if use_cache
-            else None
+        self.policy = RetryPolicy(
+            max_retries=max_retries,
+            point_timeout=point_timeout,
+            backoff_base=backoff_base,
         )
+        self.resume = bool(resume)
+        self.stats = ExecutorStats()
+        self.cache_root = (
+            Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        )
+        self.cache = _SweepCache(self.cache_root) if use_cache else None
+        if self.cache is not None:
+            self.cache.clean_stale_tmp()
 
     # ------------------------------------------------------------------
     # Model side
@@ -321,62 +488,373 @@ class SweepEngine:
             for i, rate in enumerate(spec.rates)
         ]
 
-    def _run_point(self, cfg: SimulationConfig) -> SweepPoint:
+    # -- checkpoint journal --------------------------------------------
+    def journal_dir(self) -> Path:
+        """Where campaign checkpoint journals live (next to the cache)."""
+        return self.cache_root / "journal"
+
+    def _campaign_id(
+        self,
+        specs: Sequence[PanelSpec],
+        cfgs_by: Dict[str, List[SimulationConfig]],
+        seed: int,
+    ) -> str:
+        blob = json.dumps(
+            {
+                "journal_version": _JOURNAL_VERSION,
+                "seed": seed,
+                "panels": {
+                    spec.name: [config_key(c) for c in cfgs_by[spec.name]]
+                    for spec in specs
+                },
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    @staticmethod
+    def _journal_record(journal: Optional[CheckpointJournal], entry: dict) -> None:
+        if journal is not None:
+            journal.record(entry)
+
+    def _journal_done(
+        self,
+        journal: Optional[CheckpointJournal],
+        panel: str,
+        index: int,
+        cfg: SimulationConfig,
+        point: SweepPoint,
+        attempts: int,
+        source: str = "simulated",
+    ) -> None:
+        self._journal_record(
+            journal,
+            {
+                "event": "point",
+                "status": "done",
+                "panel": panel,
+                "index": index,
+                "config": config_key(cfg)[:16],
+                "rate": point.rate,
+                "latency": point.latency,
+                "saturated": point.saturated,
+                "attempts": attempts,
+                "source": source,
+            },
+        )
+
+    def _journal_failed(
+        self,
+        journal: Optional[CheckpointJournal],
+        failure: PointFailure,
+        cfg: SimulationConfig,
+    ) -> None:
+        self._journal_record(
+            journal,
+            {
+                "event": "point",
+                "status": "failed",
+                "panel": failure.panel,
+                "index": failure.index,
+                "config": config_key(cfg)[:16],
+                "kind": failure.kind,
+                "attempts": failure.attempts,
+                "message": failure.message,
+            },
+        )
+
+    def _journal_retry(
+        self,
+        journal: Optional[CheckpointJournal],
+        panel: str,
+        index: int,
+        kind: str,
+        attempt: int,
+    ) -> None:
+        self._journal_record(
+            journal,
+            {
+                "event": "retry",
+                "panel": panel,
+                "index": index,
+                "kind": kind,
+                "attempt": attempt,
+            },
+        )
+
+    def _open_journal(
+        self,
+        specs: Sequence[PanelSpec],
+        cfgs_by: Dict[str, List[SimulationConfig]],
+        seed: int,
+        resume: bool,
+    ) -> Tuple[Optional[CheckpointJournal], Dict[_PointKey, SweepPoint]]:
+        """Open (and maybe replay) the campaign's checkpoint journal.
+
+        Journaling is active whenever the cache is enabled (the journal
+        lives beside it) or a resume was requested; ``use_cache=False``
+        without ``resume`` stays fully side-effect free.  Returns the
+        open journal (or ``None``) plus the points restored from a
+        resumed journal.
+        """
+        if self.cache is None and not resume:
+            return None, {}
+        cid = self._campaign_id(specs, cfgs_by, seed)
+        path = self.journal_dir() / f"{cid}.jsonl"
+        journal = CheckpointJournal(path)
+        done: Dict[_PointKey, SweepPoint] = {}
+        fresh = True
+        if resume and path.exists():
+            header, entries = CheckpointJournal.load(path)
+            if header is not None:
+                recorded = header.get("campaign")
+                if recorded not in (None, cid):
+                    raise ValueError(
+                        f"checkpoint journal {path} belongs to campaign "
+                        f"{recorded}, not {cid} — the panel set or its "
+                        "parameters changed; rerun without resume"
+                    )
+                fresh = False
+                for entry in entries:
+                    if (
+                        entry.get("event") != "point"
+                        or entry.get("status") != "done"
+                    ):
+                        continue
+                    try:
+                        key = (str(entry["panel"]), int(entry["index"]))
+                        done[key] = SweepPoint(
+                            rate=float(entry["rate"]),
+                            latency=float(entry["latency"]),
+                            saturated=bool(entry["saturated"]),
+                        )
+                    except (KeyError, TypeError, ValueError):
+                        continue
+        journal.start(
+            {
+                "event": "campaign",
+                "campaign": cid,
+                "version": _JOURNAL_VERSION,
+                "seed": seed,
+                "panels": {s.name: len(cfgs_by[s.name]) for s in specs},
+            },
+            fresh=fresh,
+        )
+        return journal, done
+
+    # -- point execution -----------------------------------------------
+    def _attempt_point_sequential(
+        self,
+        panel: str,
+        index: int,
+        cfg: SimulationConfig,
+        journal: Optional[CheckpointJournal],
+    ) -> Tuple[Optional[SweepPoint], Optional[PointFailure]]:
+        """One point, in-process, with cache, retries and journaling."""
         if self.cache is not None:
             hit = self.cache.get(cfg)
             if hit is not None:
-                return hit
-        point = _simulate_point(cfg)
-        if self.cache is not None:
-            self.cache.put(cfg, point)
-        return point
+                self._journal_done(
+                    journal, panel, index, cfg, hit, attempts=0, source="cache"
+                )
+                return hit, None
+        for attempt in range(self.policy.max_retries + 1):
+            try:
+                point = _simulate_point(cfg, attempt)
+            except Exception as exc:
+                if attempt < self.policy.max_retries:
+                    self.stats.retries += 1
+                    self._journal_retry(journal, panel, index, "exception", attempt)
+                    time.sleep(self.policy.backoff(attempt))
+                    continue
+                failure = PointFailure(
+                    panel=panel,
+                    index=index,
+                    rate=cfg.rate,
+                    kind="exception",
+                    attempts=attempt + 1,
+                    message=f"{type(exc).__name__}: {exc}",
+                )
+                self.stats.failures += 1
+                self._journal_failed(journal, failure, cfg)
+                return None, failure
+            if self.cache is not None:
+                self.cache.put(cfg, point)
+            self._journal_done(
+                journal, panel, index, cfg, point, attempts=attempt + 1
+            )
+            return point, None
+        raise AssertionError("unreachable")
 
-    def _sequential_sweep(self, spec: PanelSpec, cfgs: List[SimulationConfig]) -> SweepResult:
+    def _campaign_sequential(
+        self,
+        specs: Sequence[PanelSpec],
+        cfgs_by: Dict[str, List[SimulationConfig]],
+        done: Dict[_PointKey, SweepPoint],
+        journal: Optional[CheckpointJournal],
+    ) -> Tuple[Dict[_PointKey, SweepPoint], Dict[_PointKey, PointFailure]]:
         """The ``jobs=1`` degenerate case: in order, stop at saturation."""
-        sweep = SweepResult(label=f"sim:{spec.name}")
-        for cfg in cfgs:
-            point = self._run_point(cfg)
-            sweep.points.append(point)
+        points: Dict[_PointKey, SweepPoint] = {}
+        failures: Dict[_PointKey, PointFailure] = {}
+        for spec in specs:
+            for i, cfg in enumerate(cfgs_by[spec.name]):
+                key = (spec.name, i)
+                if key in done:
+                    points[key] = done[key]
+                else:
+                    point, failure = self._attempt_point_sequential(
+                        spec.name, i, cfg, journal
+                    )
+                    if failure is not None:
+                        failures[key] = failure
+                        continue
+                    points[key] = point
+                if points[key].saturated:
+                    break
+        return points, failures
+
+    def _campaign_parallel(
+        self,
+        specs: Sequence[PanelSpec],
+        cfgs_by: Dict[str, List[SimulationConfig]],
+        done: Dict[_PointKey, SweepPoint],
+        journal: Optional[CheckpointJournal],
+    ) -> Tuple[Dict[_PointKey, SweepPoint], Dict[_PointKey, PointFailure]]:
+        """Fan every needed point of every panel onto one resilient pool."""
+        points: Dict[_PointKey, SweepPoint] = {}
+        known_sat: Dict[str, int] = {}
+
+        def note(key: _PointKey, point: SweepPoint) -> None:
+            points[key] = point
             if point.saturated:
-                break
-        return sweep
+                panel, i = key
+                if panel not in known_sat or i < known_sat[panel]:
+                    known_sat[panel] = i
 
-    def _submit_panel(
-        self, spec: PanelSpec, cfgs: List[SimulationConfig], executor: ProcessPoolExecutor
-    ) -> _PendingPanel:
-        pending = _PendingPanel(spec=spec, cfgs=cfgs, points=[None] * len(cfgs))
-        for i, cfg in enumerate(cfgs):
-            hit = self.cache.get(cfg) if self.cache is not None else None
-            if hit is not None:
-                pending.points[i] = hit
-            else:
-                pending.futures[i] = executor.submit(_simulate_point, cfg)
-        return pending
-
-    def _collect_panel(self, pending: _PendingPanel) -> SweepResult:
-        """Gather points in grid order, truncating at first saturation.
-
-        Points past the first saturated one are discarded either way, so
-        their still-queued futures are cancelled (best-effort — workers
-        already running them finish; their results are simply not read)
-        to stop burning simulation time the series will never use.
-        """
-        sweep = SweepResult(label=f"sim:{pending.spec.name}")
-        truncated = False
-        for i in range(len(pending.cfgs)):
-            future = pending.futures.get(i)
-            if truncated:
-                if future is not None:
-                    future.cancel()
-                continue
-            point = pending.points[i]
-            if point is None:
-                point = future.result()
+        for spec in specs:
+            for i, cfg in enumerate(cfgs_by[spec.name]):
+                key = (spec.name, i)
+                if key in done:
+                    note(key, done[key])
+                    continue
                 if self.cache is not None:
-                    self.cache.put(pending.cfgs[i], point)
-            sweep.points.append(point)
-            truncated = point.saturated
-        return sweep
+                    hit = self.cache.get(cfg)
+                    if hit is not None:
+                        self._journal_done(
+                            journal, spec.name, i, cfg, hit,
+                            attempts=0, source="cache",
+                        )
+                        note(key, hit)
+
+        tasks: Dict[_PointKey, tuple] = {}
+        for spec in specs:
+            for i, cfg in enumerate(cfgs_by[spec.name]):
+                key = (spec.name, i)
+                if key in points:
+                    continue
+                sat = known_sat.get(spec.name)
+                if sat is not None and i > sat:
+                    continue  # beyond a known saturated rate — never needed
+                tasks[key] = (cfg,)
+        if not tasks:
+            return points, {}
+
+        def on_result(key: _PointKey, point: SweepPoint, attempts: int):
+            panel, i = key
+            cfg = cfgs_by[panel][i]
+            if self.cache is not None:
+                self.cache.put(cfg, point)
+            self._journal_done(journal, panel, i, cfg, point, attempts=attempts)
+            before = known_sat.get(panel)
+            note(key, point)
+            after = known_sat.get(panel)
+            if after is not None and after != before:
+                # Saturation found (or moved earlier): drop queued points
+                # past it — the series is truncated there anyway.
+                return [
+                    (panel, j)
+                    for j in range(after + 1, len(cfgs_by[panel]))
+                    if (panel, j) in tasks
+                ]
+            return None
+
+        def on_retry(key: _PointKey, kind: str, attempt: int) -> None:
+            self._journal_retry(journal, key[0], key[1], kind, attempt)
+
+        executor = ResilientExecutor(self.jobs, self.policy, stats=self.stats)
+        _, task_failures = executor.run(
+            _simulate_point, tasks, on_result=on_result, on_retry=on_retry
+        )
+        failures: Dict[_PointKey, PointFailure] = {}
+        for key, tf in task_failures.items():
+            panel, i = key
+            cfg = cfgs_by[panel][i]
+            failure = PointFailure(
+                panel=panel,
+                index=i,
+                rate=cfg.rate,
+                kind=tf.kind,
+                attempts=tf.attempts,
+                message=tf.message,
+            )
+            failures[key] = failure
+            self._journal_failed(journal, failure, cfg)
+        return points, failures
+
+    def _simulate_panels(
+        self,
+        specs: Sequence[PanelSpec],
+        seed: int,
+        measure_cycles: Optional[int],
+        warmup_cycles: Optional[int],
+        *,
+        use_journal: bool,
+        resume: bool,
+    ) -> Dict[str, SweepResult]:
+        """Simulate every panel's grid; assemble truncated sweep series."""
+        cfgs_by = {
+            spec.name: self._panel_configs(
+                spec, seed, measure_cycles, warmup_cycles
+            )
+            for spec in specs
+        }
+        journal: Optional[CheckpointJournal] = None
+        done: Dict[_PointKey, SweepPoint] = {}
+        if use_journal:
+            journal, done = self._open_journal(specs, cfgs_by, seed, resume)
+        try:
+            if self.jobs == 1:
+                points, failures = self._campaign_sequential(
+                    specs, cfgs_by, done, journal
+                )
+            else:
+                points, failures = self._campaign_parallel(
+                    specs, cfgs_by, done, journal
+                )
+        finally:
+            if journal is not None:
+                journal.close()
+
+        # Reassemble each panel in grid order with the sequential
+        # semantics: failures before the stop are recorded, the series
+        # truncates at its first saturated point, anything later is
+        # dropped — so jobs=1 and jobs=N agree bit for bit.
+        results: Dict[str, SweepResult] = {}
+        for spec in specs:
+            sweep = SweepResult(label=f"sim:{spec.name}")
+            for i in range(len(cfgs_by[spec.name])):
+                key = (spec.name, i)
+                if key in failures:
+                    sweep.failures.append(failures[key])
+                    continue
+                point = points.get(key)
+                if point is None:
+                    break  # past the stop (sequential) or cancelled (pool)
+                sweep.points.append(point)
+                if point.saturated:
+                    break
+            results[spec.name] = sweep
+        return results
 
     def simulation_sweep(
         self,
@@ -387,12 +865,14 @@ class SweepEngine:
         warmup_cycles: Optional[int] = None,
     ) -> SweepResult:
         """Simulator curve for one panel, truncated at first saturation."""
-        cfgs = self._panel_configs(spec, seed, measure_cycles, warmup_cycles)
-        if self.jobs == 1:
-            return self._sequential_sweep(spec, cfgs)
-        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
-            pending = self._submit_panel(spec, cfgs, executor)
-            return self._collect_panel(pending)
+        return self._simulate_panels(
+            [spec],
+            seed,
+            measure_cycles,
+            warmup_cycles,
+            use_journal=False,
+            resume=False,
+        )[spec.name]
 
     # ------------------------------------------------------------------
     # Panels and figures
@@ -406,21 +886,18 @@ class SweepEngine:
         measure_cycles: Optional[int] = None,
         warmup_cycles: Optional[int] = None,
         trip_averaging: bool = True,
+        resume: Optional[bool] = None,
     ) -> PanelResult:
         """Model (and optionally simulator) curves for one panel."""
-        result = PanelResult(
-            spec=spec,
-            model=self.model_sweep(spec, trip_averaging=trip_averaging),
-            simulation=None,
-        )
-        if simulate:
-            result.simulation = self.simulation_sweep(
-                spec,
-                seed=seed,
-                measure_cycles=measure_cycles,
-                warmup_cycles=warmup_cycles,
-            )
-        return result
+        return self.run_panels(
+            [spec],
+            simulate=simulate,
+            seed=seed,
+            measure_cycles=measure_cycles,
+            warmup_cycles=warmup_cycles,
+            trip_averaging=trip_averaging,
+            resume=resume,
+        )[spec.name]
 
     def run_panels(
         self,
@@ -431,42 +908,36 @@ class SweepEngine:
         measure_cycles: Optional[int] = None,
         warmup_cycles: Optional[int] = None,
         trip_averaging: bool = True,
+        resume: Optional[bool] = None,
     ) -> Dict[str, PanelResult]:
-        """Run several panels (e.g. a whole figure) in one shared pool.
+        """Run several panels (e.g. a whole figure) as one campaign.
 
         With ``jobs>1`` every uncached simulation point of every panel
-        is in flight on the same executor, so a six-panel figure keeps
-        all workers busy instead of draining panel by panel.  Results
-        are keyed by panel name and identical to per-panel runs.
+        is in flight on the same resilient executor, so a six-panel
+        figure keeps all workers busy instead of draining panel by
+        panel.  Results are keyed by panel name and identical to
+        per-panel runs.  Each point's status is checkpointed to the
+        campaign's JSONL journal as it completes; ``resume=True``
+        (default: the engine's ``resume`` setting) restores
+        checkpointed points of an interrupted earlier run instead of
+        recomputing them.
         """
+        resume = self.resume if resume is None else bool(resume)
+        sims: Dict[str, SweepResult] = {}
+        if simulate:
+            sims = self._simulate_panels(
+                specs,
+                seed,
+                measure_cycles,
+                warmup_cycles,
+                use_journal=True,
+                resume=resume,
+            )
         results: Dict[str, PanelResult] = {}
-        if not simulate or self.jobs == 1:
-            for spec in specs:
-                results[spec.name] = self.run_panel(
-                    spec,
-                    simulate=simulate,
-                    seed=seed,
-                    measure_cycles=measure_cycles,
-                    warmup_cycles=warmup_cycles,
-                    trip_averaging=trip_averaging,
-                )
-            return results
-
-        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
-            pendings = [
-                self._submit_panel(
-                    spec,
-                    self._panel_configs(spec, seed, measure_cycles, warmup_cycles),
-                    executor,
-                )
-                for spec in specs
-            ]
-            for pending in pendings:
-                results[pending.spec.name] = PanelResult(
-                    spec=pending.spec,
-                    model=self.model_sweep(
-                        pending.spec, trip_averaging=trip_averaging
-                    ),
-                    simulation=self._collect_panel(pending),
-                )
+        for spec in specs:
+            results[spec.name] = PanelResult(
+                spec=spec,
+                model=self.model_sweep(spec, trip_averaging=trip_averaging),
+                simulation=sims.get(spec.name),
+            )
         return results

@@ -36,6 +36,7 @@ import os
 import shutil
 import subprocess
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Optional
 
@@ -175,7 +176,10 @@ def load_c_kernel() -> Optional[object]:
 
     Compilation and loading are attempted once per process; any failure
     (no compiler, sandboxed filesystem, unloadable object) degrades to
-    ``None`` and the SoA engine falls back to its numpy kernel.
+    ``None`` and the SoA engine falls back to its numpy kernel — with a
+    once-per-process :class:`RuntimeWarning` naming the actual failure,
+    so a missing compiler shows up as a warning instead of silently
+    masquerading as a ~4x performance regression.
     """
     global _loaded, _load_attempted
     if _load_attempted:
@@ -191,9 +195,26 @@ def load_c_kernel() -> Optional[object]:
         fn.argtypes = _ARGTYPES
         fn.restype = ctypes.c_int64
         _loaded = fn
-    except Exception:
+    except subprocess.CalledProcessError as exc:
+        stderr = (exc.stderr or b"").decode(errors="replace").strip()
+        _warn_kernel_fallback(f"compilation failed: {stderr or exc}")
+        _loaded = None
+    except Exception as exc:
+        _warn_kernel_fallback(f"{type(exc).__name__}: {exc}")
         _loaded = None
     return _loaded
+
+
+def _warn_kernel_fallback(reason: str) -> None:
+    """One warning per process when the C kernel degrades to numpy."""
+    warnings.warn(
+        f"repro: SoA C kernel unavailable ({reason}); falling back to the "
+        "slower pure-numpy kernel.  Install a C compiler (or set CC) to "
+        "restore full speed, or set REPRO_SOA_KERNEL=numpy to silence "
+        "this warning.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def c_kernel_available() -> bool:

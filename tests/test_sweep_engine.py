@@ -7,11 +7,18 @@ The load-bearing guarantees:
 * per-point seeds are deterministic (process- and run-independent);
 * the on-disk cache returns exactly what was computed and is bypassed
   cleanly with ``use_cache=False``;
+* corrupt, truncated or stale-schema cache entries are quarantined to
+  ``corrupt/`` and recomputed — reads never raise;
+* a crashing or permanently failing point becomes a structured
+  ``PointFailure`` record while every other point survives;
 * warm-started model sweeps reproduce the cold curves with strictly
   fewer total fixed-point iterations.
 """
 
+import json
 import math
+import os
+import time
 
 import pytest
 
@@ -154,6 +161,231 @@ class TestCache:
         monkeypatch.setattr(sweep_mod, "Simulation", Boom)
         second = engine.run_panel(spec, **kwargs)
         assert second.simulation == first.simulation
+
+
+class TestCacheHardening:
+    """Corrupt entries are quarantined and recomputed, never raised on."""
+
+    def _seed_cache(self, tmp_path):
+        spec = tiny_panel(rates=(0.004,))
+        kwargs = dict(seed=1, measure_cycles=3_000, warmup_cycles=500)
+        engine = SweepEngine(jobs=1, use_cache=True, cache_dir=tmp_path)
+        first = engine.run_panel(spec, **kwargs)
+        entries = list(tmp_path.glob("*.json"))
+        assert entries
+        return spec, kwargs, engine, first, entries
+
+    def _assert_recovered(self, tmp_path, spec, kwargs, first, reason):
+        engine = SweepEngine(jobs=1, use_cache=True, cache_dir=tmp_path)
+        second = engine.run_panel(spec, **kwargs)
+        assert second.simulation == first.simulation
+        quarantined = list((tmp_path / "corrupt").glob(f"*.{reason}.json"))
+        assert quarantined, f"expected a .{reason}.json quarantine file"
+        # The recomputed entry replaced the corrupt one: a third run is a
+        # clean cache hit again.
+        third = SweepEngine(
+            jobs=1, use_cache=True, cache_dir=tmp_path
+        ).run_panel(spec, **kwargs)
+        assert third.simulation == first.simulation
+
+    def test_truncated_json(self, tmp_path):
+        spec, kwargs, _, first, entries = self._seed_cache(tmp_path)
+        for f in entries:
+            f.write_text(f.read_text()[: len(f.read_text()) // 2])
+        self._assert_recovered(tmp_path, spec, kwargs, first, "parse")
+
+    def test_wrong_schema_version(self, tmp_path):
+        spec, kwargs, _, first, entries = self._seed_cache(tmp_path)
+        for f in entries:
+            body = json.loads(f.read_text())
+            body["schema"] = 999
+            f.write_text(json.dumps(body))
+        self._assert_recovered(tmp_path, spec, kwargs, first, "schema")
+
+    def test_legacy_v1_entry_is_stale(self, tmp_path):
+        # A pre-hardening cache body (bare payload, no envelope) must be
+        # treated as stale schema, not served.
+        spec, kwargs, _, first, entries = self._seed_cache(tmp_path)
+        for f in entries:
+            f.write_text(
+                json.dumps({"rate": 0.004, "latency": 1.0, "saturated": False})
+            )
+        self._assert_recovered(tmp_path, spec, kwargs, first, "schema")
+
+    def test_checksum_mismatch(self, tmp_path):
+        spec, kwargs, _, first, entries = self._seed_cache(tmp_path)
+        for f in entries:
+            body = json.loads(f.read_text())
+            body["payload"]["latency"] = body["payload"]["latency"] + 1.0
+            f.write_text(json.dumps(body))  # stale checksum
+        self._assert_recovered(tmp_path, spec, kwargs, first, "checksum")
+
+    def test_non_numeric_fields(self, tmp_path):
+        spec, kwargs, _, first, entries = self._seed_cache(tmp_path)
+        for f in entries:
+            body = json.loads(f.read_text())
+            body["payload"]["latency"] = "fast"
+            body["checksum"] = sweep_mod._payload_checksum(body["payload"])
+            f.write_text(json.dumps(body))
+        self._assert_recovered(tmp_path, spec, kwargs, first, "fields")
+
+    def test_bool_masquerading_as_number_rejected(self, tmp_path):
+        spec, kwargs, _, first, entries = self._seed_cache(tmp_path)
+        for f in entries:
+            body = json.loads(f.read_text())
+            body["payload"]["latency"] = True
+            body["checksum"] = sweep_mod._payload_checksum(body["payload"])
+            f.write_text(json.dumps(body))
+        self._assert_recovered(tmp_path, spec, kwargs, first, "fields")
+
+    def test_get_never_raises_on_garbage(self, tmp_path):
+        spec, kwargs, _, first, entries = self._seed_cache(tmp_path)
+        for f in entries:
+            f.write_bytes(b"\x00\xff\xfe garbage \x80")
+        second = SweepEngine(
+            jobs=1, use_cache=True, cache_dir=tmp_path
+        ).run_panel(spec, **kwargs)
+        assert second.simulation == first.simulation
+
+
+class TestStaleTmpCleanup:
+    def test_old_orphan_removed_on_startup(self, tmp_path):
+        orphan = tmp_path / "deadbeef.12345.tmp"
+        orphan.write_text("half-written entry")
+        old = time.time() - 7200
+        os.utime(orphan, (old, old))
+        SweepEngine(jobs=1, use_cache=True, cache_dir=tmp_path)
+        assert not orphan.exists()
+
+    def test_young_tmp_preserved(self, tmp_path):
+        # A young tmp may belong to a concurrently running writer.
+        young = tmp_path / "cafebabe.99999.tmp"
+        young.write_text("in-progress entry")
+        SweepEngine(jobs=1, use_cache=True, cache_dir=tmp_path)
+        assert young.exists()
+
+    def test_no_cache_engine_does_not_touch_dir(self, tmp_path):
+        orphan = tmp_path / "deadbeef.12345.tmp"
+        orphan.write_text("x")
+        old = time.time() - 7200
+        os.utime(orphan, (old, old))
+        SweepEngine(jobs=1, use_cache=False, cache_dir=tmp_path)
+        assert orphan.exists()
+
+
+class _FailingSim:
+    """Stand-in Simulation that raises on one specific rate."""
+
+    real = None  # patched in by the test
+    bad_rate = None
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+
+    def run(self):
+        if abs(self.cfg.rate - type(self).bad_rate) < 1e-12:
+            raise RuntimeError("flaky point")
+        return type(self).real(self.cfg).run()
+
+
+class _CrashingSim(_FailingSim):
+    """Stand-in Simulation that kills its worker on one specific rate.
+
+    The short sleep lets concurrently running points finish before the
+    pool breaks — a broken pool charges every in-flight task an attempt
+    (the culprit cannot be attributed), and this test wants the innocent
+    points to complete rather than exhaust their budgets alongside the
+    crasher.
+    """
+
+    def run(self):
+        if abs(self.cfg.rate - type(self).bad_rate) < 1e-12:
+            time.sleep(0.3)
+            os._exit(1)
+        return type(self).real(self.cfg).run()
+
+
+class TestFailureRecords:
+    def test_failed_point_recorded_others_survive(self, monkeypatch):
+        spec = tiny_panel()
+        _FailingSim.real = sweep_mod.Simulation
+        _FailingSim.bad_rate = spec.rates[1]
+        monkeypatch.setattr(sweep_mod, "Simulation", _FailingSim)
+        engine = SweepEngine(
+            jobs=1, use_cache=False, max_retries=1, backoff_base=0.001
+        )
+        result = engine.run_panel(
+            spec, seed=7, measure_cycles=3_000, warmup_cycles=500
+        )
+        sim = result.simulation
+        assert len(sim.failures) == 1
+        failure = sim.failures[0]
+        assert failure.kind == "exception"
+        assert failure.index == 1
+        assert failure.rate == spec.rates[1]
+        assert failure.attempts == 2
+        assert "flaky point" in failure.message
+        # The surviving points are exactly the clean run's, minus index 1.
+        assert [p.rate for p in sim.points] == [spec.rates[0], spec.rates[2]]
+        assert sim.points[-1].saturated
+        assert engine.stats.failures == 1
+        assert engine.stats.retries == 1
+
+    def test_worker_crash_does_not_discard_finished_points(
+        self, tmp_path, monkeypatch
+    ):
+        # The pre-resilience engine unwrapped future.result() per panel:
+        # one dead worker threw away every completed point.  Now the
+        # crashing point becomes a PointFailure, every other point
+        # survives — and is already in the cache, having been written the
+        # moment its future resolved.
+        spec = tiny_panel()
+        _CrashingSim.real = sweep_mod.Simulation
+        _CrashingSim.bad_rate = spec.rates[1]
+        monkeypatch.setattr(sweep_mod, "Simulation", _CrashingSim)
+        engine = SweepEngine(
+            jobs=2,
+            use_cache=True,
+            cache_dir=tmp_path,
+            max_retries=6,
+            backoff_base=0.001,
+        )
+        result = engine.run_panel(
+            spec, seed=7, measure_cycles=3_000, warmup_cycles=500
+        )
+        sim = result.simulation
+        assert [f.index for f in sim.failures] == [1]
+        assert sim.failures[0].kind == "worker-crash"
+        assert engine.stats.pool_rebuilds >= 1
+        completed_rates = {p.rate for p in sim.points}
+        assert spec.rates[0] in completed_rates
+        assert list(tmp_path.glob("*.json")), (
+            "completed points must be cached despite the crashes"
+        )
+
+        # The undamaged points match a fault-free sequential run.
+        monkeypatch.setattr(sweep_mod, "Simulation", _CrashingSim.real)
+        clean = SweepEngine(jobs=1, use_cache=False).run_panel(
+            spec, seed=7, measure_cycles=3_000, warmup_cycles=500
+        )
+        clean_by_rate = {p.rate: p for p in clean.simulation.points}
+        for p in sim.points:
+            assert p == clean_by_rate[p.rate]
+
+    def test_parallel_failure_matches_sequential(self, monkeypatch):
+        spec = tiny_panel()
+        _FailingSim.real = sweep_mod.Simulation
+        _FailingSim.bad_rate = spec.rates[0]
+        monkeypatch.setattr(sweep_mod, "Simulation", _FailingSim)
+        kwargs = dict(seed=7, measure_cycles=3_000, warmup_cycles=500)
+        seq = SweepEngine(
+            jobs=1, use_cache=False, max_retries=0
+        ).run_panel(spec, **kwargs)
+        par = SweepEngine(
+            jobs=3, use_cache=False, max_retries=0
+        ).run_panel(spec, **kwargs)
+        assert seq.simulation == par.simulation
+        assert len(seq.simulation.failures) == 1
 
 
 class TestWarmStart:
