@@ -131,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="measured cycles per simulation point")
         p.add_argument("--jobs", type=_positive_int, default=1,
                        help="simulation worker processes (default 1)")
+        p.add_argument("--batch", type=_positive_int, default=None,
+                       metavar="B",
+                       help="same-shape simulation points advanced per "
+                       "batched engine call (default $REPRO_SIM_BATCH or 1)")
         p.add_argument("--no-cache", action="store_true",
                        help="bypass the on-disk sweep result cache")
         p.add_argument("--seed", type=int, default=42,
@@ -278,6 +282,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _sweep_engine(args: argparse.Namespace) -> SweepEngine:
     return SweepEngine(
         jobs=args.jobs,
+        batch=args.batch,
         use_cache=not args.no_cache,
         max_retries=args.max_retries,
         point_timeout=args.point_timeout,
@@ -362,6 +367,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"batched panel ({batch['points']} pts): "
         f"{batch['points_per_sec']:,.1f} points/s"
     )
+    sb = report.get("sim_batch")
+    if sb is not None:
+        print(
+            f"sim batch [{sb['kernel']}, B={sb['batch']}]: "
+            f"{sb['cycles_per_sec_batched']:,.0f} cycles/s batched vs "
+            f"{sb['cycles_per_sec_sequential']:,.0f} sequential "
+            f"({sb['speedup']:.2f}x, "
+            f"bit-identical={'yes' if sb['bit_identical'] else 'NO'})"
+        )
     res = report.get("resilience")
     if res is not None:
         print(

@@ -91,7 +91,7 @@ from repro.resilience import (
     RetryPolicy,
 )
 from repro.simulator.config import SimulationConfig
-from repro.simulator.sim import Simulation
+from repro.simulator.sim import Simulation, run_batch
 
 __all__ = [
     "PanelResult",
@@ -99,6 +99,7 @@ __all__ = [
     "config_key",
     "default_cache_dir",
     "point_seed",
+    "sim_batch_size",
     "sim_jobs",
     "sim_measure_cycles",
 ]
@@ -167,6 +168,29 @@ def sim_jobs(default: int = 1) -> int:
     return value
 
 
+def sim_batch_size(default: int = 1) -> int:
+    """Simulation points batched per job (``REPRO_SIM_BATCH``).
+
+    A batch of B same-shape grid points is advanced by one
+    :class:`~repro.simulator.batch.BatchedSoAEngine` instead of B
+    sequential runs — bit-identical results, one kernel call per tick.
+    ``1`` (the default) keeps plain per-point execution.  Raises a
+    :class:`ValueError` naming the variable on bad input.
+    """
+    raw = os.environ.get("REPRO_SIM_BATCH", "")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SIM_BATCH must be an integer batch size, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"REPRO_SIM_BATCH must be >= 1, got {value}")
+    return value
+
+
 def point_seed(base_seed: int, panel: str, index: int) -> int:
     """Deterministic RNG seed for grid point ``index`` of ``panel``.
 
@@ -220,6 +244,30 @@ def _simulate_point(cfg: SimulationConfig, attempt: int = 0) -> SweepPoint:
     res = Simulation(cfg).run()
     latency = math.inf if res.saturated else res.mean_latency
     return SweepPoint(rate=cfg.rate, latency=latency, saturated=res.saturated)
+
+
+def _simulate_chunk(
+    cfgs: Sequence[SimulationConfig], attempt: int = 0
+) -> List[SweepPoint]:
+    """Process-pool worker: one *batched* job -> several sweep points.
+
+    The chunk's same-shape configurations advance together on one
+    :class:`~repro.simulator.batch.BatchedSoAEngine`
+    (:func:`repro.simulator.sim.run_batch`); every point is
+    bit-identical to :func:`_simulate_point` on the same config, so
+    batched and per-point campaigns share one cache.  Fault injection
+    is keyed on the first config's seed — a chunk retries as a unit.
+    """
+    faults.on_point_attempt(cfgs[0].seed, attempt)
+    points = []
+    for res in run_batch(cfgs):
+        latency = math.inf if res.saturated else res.mean_latency
+        points.append(
+            SweepPoint(
+                rate=res.rate, latency=latency, saturated=res.saturated
+            )
+        )
+    return points
 
 
 def _payload_checksum(payload: dict) -> str:
@@ -363,6 +411,13 @@ class SweepEngine:
         point; ``>1`` fans points (across all panels of a call) out to a
         process pool and truncates each series at its first saturated
         point, yielding bit-identical results to ``jobs=1``.
+    batch:
+        Simulation points per job (default: ``$REPRO_SIM_BATCH``, else
+        1).  With ``batch > 1`` each job advances a chunk of same-shape
+        grid points on one
+        :class:`~repro.simulator.batch.BatchedSoAEngine` — bit-identical
+        results at a fraction of the per-cycle Python overhead; chunks
+        retry (and fail) as a unit.
     use_cache:
         Consult/populate the on-disk point cache (see module docstring).
     cache_dir:
@@ -407,6 +462,7 @@ class SweepEngine:
         self,
         jobs: int = 1,
         *,
+        batch: Optional[int] = None,
         use_cache: bool = True,
         cache_dir: "Path | str | None" = None,
         warm_start: bool = True,
@@ -418,6 +474,9 @@ class SweepEngine:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
+        self.batch = sim_batch_size() if batch is None else int(batch)
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
         self.warm_start = bool(warm_start)
         self.policy = RetryPolicy(
             max_retries=max_retries,
@@ -686,6 +745,54 @@ class SweepEngine:
             return point, None
         raise AssertionError("unreachable")
 
+    def _attempt_chunk_sequential(
+        self,
+        panel: str,
+        chunk: List[Tuple[int, SimulationConfig]],
+        journal: Optional[CheckpointJournal],
+    ) -> Tuple[
+        Optional[List[SweepPoint]], Optional[Dict[int, PointFailure]]
+    ]:
+        """One batched job, in-process, with retries and journaling.
+
+        The chunk succeeds or fails as a unit: on terminal failure every
+        member point gets its own :class:`PointFailure` record.
+        """
+        cfgs = [cfg for _, cfg in chunk]
+        for attempt in range(self.policy.max_retries + 1):
+            try:
+                pts = _simulate_chunk(cfgs, attempt)
+            except Exception as exc:
+                if attempt < self.policy.max_retries:
+                    self.stats.retries += 1
+                    self._journal_retry(
+                        journal, panel, chunk[0][0], "exception", attempt
+                    )
+                    time.sleep(self.policy.backoff(attempt))
+                    continue
+                failures: Dict[int, PointFailure] = {}
+                for i, cfg in chunk:
+                    failure = PointFailure(
+                        panel=panel,
+                        index=i,
+                        rate=cfg.rate,
+                        kind="exception",
+                        attempts=attempt + 1,
+                        message=f"{type(exc).__name__}: {exc}",
+                    )
+                    self.stats.failures += 1
+                    self._journal_failed(journal, failure, cfg)
+                    failures[i] = failure
+                return None, failures
+            for (i, cfg), point in zip(chunk, pts):
+                if self.cache is not None:
+                    self.cache.put(cfg, point)
+                self._journal_done(
+                    journal, panel, i, cfg, point, attempts=attempt + 1
+                )
+            return pts, None
+        raise AssertionError("unreachable")
+
     def _campaign_sequential(
         self,
         specs: Sequence[PanelSpec],
@@ -694,6 +801,10 @@ class SweepEngine:
         journal: Optional[CheckpointJournal],
     ) -> Tuple[Dict[_PointKey, SweepPoint], Dict[_PointKey, PointFailure]]:
         """The ``jobs=1`` degenerate case: in order, stop at saturation."""
+        if self.batch > 1:
+            return self._campaign_sequential_batched(
+                specs, cfgs_by, done, journal
+            )
         points: Dict[_PointKey, SweepPoint] = {}
         failures: Dict[_PointKey, PointFailure] = {}
         for spec in specs:
@@ -711,6 +822,62 @@ class SweepEngine:
                     points[key] = point
                 if points[key].saturated:
                     break
+        return points, failures
+
+    def _campaign_sequential_batched(
+        self,
+        specs: Sequence[PanelSpec],
+        cfgs_by: Dict[str, List[SimulationConfig]],
+        done: Dict[_PointKey, SweepPoint],
+        journal: Optional[CheckpointJournal],
+    ) -> Tuple[Dict[_PointKey, SweepPoint], Dict[_PointKey, PointFailure]]:
+        """``jobs=1`` with ``batch>1``: chunks of points per batched job.
+
+        Semantics match the per-point path — each panel still truncates
+        at its first saturated point (reassembly drops anything later),
+        a chunk may merely compute a few points past it before the next
+        saturation check.  Restored/cached points are never re-run.
+        """
+        points: Dict[_PointKey, SweepPoint] = {}
+        failures: Dict[_PointKey, PointFailure] = {}
+        for spec in specs:
+            cfgs = cfgs_by[spec.name]
+            i = 0
+            stop = False
+            while i < len(cfgs) and not stop:
+                chunk: List[Tuple[int, SimulationConfig]] = []
+                while i < len(cfgs) and len(chunk) < self.batch:
+                    key = (spec.name, i)
+                    cfg = cfgs[i]
+                    i += 1
+                    hit = done.get(key)
+                    if hit is None and self.cache is not None:
+                        hit = self.cache.get(cfg)
+                        if hit is not None:
+                            self._journal_done(
+                                journal, spec.name, key[1], cfg, hit,
+                                attempts=0, source="cache",
+                            )
+                    if hit is not None:
+                        points[key] = hit
+                        if hit.saturated:
+                            stop = True
+                            break
+                        continue
+                    chunk.append((key[1], cfg))
+                if not chunk:
+                    continue
+                pts, chunk_failures = self._attempt_chunk_sequential(
+                    spec.name, chunk, journal
+                )
+                if chunk_failures is not None:
+                    for j, failure in chunk_failures.items():
+                        failures[(spec.name, j)] = failure
+                    continue
+                for (j, _), point in zip(chunk, pts):
+                    points[(spec.name, j)] = point
+                    if point.saturated:
+                        stop = True
         return points, failures
 
     def _campaign_parallel(
@@ -758,6 +925,10 @@ class SweepEngine:
                 tasks[key] = (cfg,)
         if not tasks:
             return points, {}
+        if self.batch > 1:
+            return self._run_parallel_batched(
+                cfgs_by, tasks, points, known_sat, note, journal
+            )
 
         def on_result(key: _PointKey, point: SweepPoint, attempts: int):
             panel, i = key
@@ -799,6 +970,88 @@ class SweepEngine:
             )
             failures[key] = failure
             self._journal_failed(journal, failure, cfg)
+        return points, failures
+
+    def _run_parallel_batched(
+        self,
+        cfgs_by: Dict[str, List[SimulationConfig]],
+        tasks: Dict[_PointKey, tuple],
+        points: Dict[_PointKey, SweepPoint],
+        known_sat: Dict[str, int],
+        note,
+        journal: Optional[CheckpointJournal],
+    ) -> Tuple[Dict[_PointKey, SweepPoint], Dict[_PointKey, PointFailure]]:
+        """Fan *chunks* of points onto the pool (``batch > 1``).
+
+        Pending points of each panel are grouped, in grid order, into
+        chunks of up to ``self.batch`` same-shape configurations; every
+        chunk is one pool task running :func:`_simulate_chunk`, keyed
+        (and journaled) by its first member.  A chunk retries or fails
+        as a unit, and chunks whose members all lie beyond a panel's
+        first saturated point are cancelled like individual points are.
+        """
+        chunk_members: Dict[_PointKey, List[_PointKey]] = {}
+        chunk_tasks: Dict[_PointKey, tuple] = {}
+        for panel in cfgs_by:
+            pending = [k for k in tasks if k[0] == panel]
+            pending.sort(key=lambda k: k[1])
+            for j in range(0, len(pending), self.batch):
+                members = pending[j : j + self.batch]
+                ckey = members[0]
+                chunk_members[ckey] = members
+                chunk_tasks[ckey] = (
+                    [cfgs_by[panel][k[1]] for k in members],
+                )
+        if not chunk_tasks:
+            return points, {}
+
+        def on_result(
+            ckey: _PointKey, pts: List[SweepPoint], attempts: int
+        ):
+            panel = ckey[0]
+            before = known_sat.get(panel)
+            for key, point in zip(chunk_members[ckey], pts):
+                cfg = cfgs_by[panel][key[1]]
+                if self.cache is not None:
+                    self.cache.put(cfg, point)
+                self._journal_done(
+                    journal, panel, key[1], cfg, point, attempts=attempts
+                )
+                note(key, point)
+            after = known_sat.get(panel)
+            if after is not None and after != before:
+                return [
+                    other
+                    for other, members in chunk_members.items()
+                    if other != ckey
+                    and other[0] == panel
+                    and all(m[1] > after for m in members)
+                ]
+            return None
+
+        def on_retry(ckey: _PointKey, kind: str, attempt: int) -> None:
+            self._journal_retry(journal, ckey[0], ckey[1], kind, attempt)
+
+        executor = ResilientExecutor(self.jobs, self.policy, stats=self.stats)
+        _, task_failures = executor.run(
+            _simulate_chunk, chunk_tasks,
+            on_result=on_result, on_retry=on_retry,
+        )
+        failures: Dict[_PointKey, PointFailure] = {}
+        for ckey, tf in task_failures.items():
+            panel = ckey[0]
+            for key in chunk_members[ckey]:
+                cfg = cfgs_by[panel][key[1]]
+                failure = PointFailure(
+                    panel=panel,
+                    index=key[1],
+                    rate=cfg.rate,
+                    kind=tf.kind,
+                    attempts=tf.attempts,
+                    message=tf.message,
+                )
+                failures[key] = failure
+                self._journal_failed(journal, failure, cfg)
         return points, failures
 
     def _simulate_panels(

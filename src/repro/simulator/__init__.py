@@ -29,12 +29,17 @@ Two interchangeable cycle engines exist (``config.engine`` /
 ``$REPRO_ENGINE``): the structure-of-arrays engine
 (:class:`~repro.simulator.soa.SoACycleEngine`, the fast default) and
 the reference engine (:class:`~repro.simulator.engine.CycleEngine`,
-the correctness oracle); their outputs are bit-identical.
+the correctness oracle); their outputs are bit-identical.  Same-shape
+configuration sets can additionally be advanced together —
+:func:`~repro.simulator.sim.run_batch` /
+:class:`~repro.simulator.batch.BatchedSoAEngine` sweep B stacked
+networks per kernel call, each row bit-identical to its solo run.
 """
 
+from repro.simulator.batch import BatchedSoAEngine, batch_shape_key
 from repro.simulator.config import SimulationConfig, resolve_engine_kind
 from repro.simulator.engine import CycleEngine
-from repro.simulator.sim import Simulation, SimulationResult
+from repro.simulator.sim import Simulation, SimulationResult, run_batch
 from repro.simulator.soa import SoACycleEngine
 from repro.simulator.stats import BatchMeans, LatencyStats
 
@@ -46,5 +51,8 @@ __all__ = [
     "LatencyStats",
     "CycleEngine",
     "SoACycleEngine",
+    "BatchedSoAEngine",
+    "batch_shape_key",
+    "run_batch",
     "resolve_engine_kind",
 ]

@@ -6,23 +6,39 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-__all__ = ["SimulationConfig", "resolve_engine_kind"]
+__all__ = ["SimulationConfig", "normalize_engine_kind", "resolve_engine_kind"]
+
+
+def normalize_engine_kind(engine: str) -> str:
+    """Canonicalise an engine selector (strip/lowercase, '' -> 'auto').
+
+    The *same* normalisation is applied to the ``engine=`` argument and
+    to ``$REPRO_ENGINE``, so ``SimulationConfig(engine="SOA")`` and
+    ``REPRO_ENGINE=SOA`` select identically.  Raises a
+    :class:`ValueError` on anything other than ``auto``/``soa``/
+    ``reference``.
+    """
+    raw = str(engine).strip().lower() or "auto"
+    if raw not in ("auto", "soa", "reference"):
+        raise ValueError(
+            f"engine must be 'auto', 'soa' or 'reference', got {engine!r}"
+        )
+    return raw
 
 
 def resolve_engine_kind(engine: str = "auto") -> str:
     """Resolve an engine selector to ``"soa"`` or ``"reference"``.
 
-    ``"auto"`` defers to the ``REPRO_ENGINE`` environment variable and
-    defaults to the structure-of-arrays engine; both engines produce
-    bit-identical simulations, so the choice only affects speed.
-    Raises a :class:`ValueError` naming ``REPRO_ENGINE`` on bad input.
+    The argument is normalised exactly like ``$REPRO_ENGINE`` (case-
+    and whitespace-insensitive); ``"auto"`` defers to the environment
+    variable and defaults to the structure-of-arrays engine.  Both
+    engines produce bit-identical simulations, so the choice only
+    affects speed.  Raises a :class:`ValueError` naming
+    ``REPRO_ENGINE`` on bad environment input.
     """
-    if engine in ("soa", "reference"):
-        return engine
-    if engine != "auto":
-        raise ValueError(
-            f"engine must be 'auto', 'soa' or 'reference', got {engine!r}"
-        )
+    kind = normalize_engine_kind(engine)
+    if kind in ("soa", "reference"):
+        return kind
     raw = os.environ.get("REPRO_ENGINE", "").strip().lower()
     if raw in ("", "auto", "soa"):
         return "soa"
@@ -177,11 +193,10 @@ class SimulationConfig:
             raise ValueError(
                 f"min_drain_ratio must be in (0, 1], got {self.min_drain_ratio}"
             )
-        if self.engine not in ("auto", "soa", "reference"):
-            raise ValueError(
-                f"engine must be 'auto', 'soa' or 'reference', got "
-                f"{self.engine!r}"
-            )
+        # Store the canonical selector so equality, hashing and cache
+        # keys do not distinguish "SOA" from "soa" (frozen dataclass:
+        # write through object.__setattr__).
+        object.__setattr__(self, "engine", normalize_engine_kind(self.engine))
         if self.hotspot_node is not None:
             if len(self.hotspot_node) != self.n:
                 raise ValueError(

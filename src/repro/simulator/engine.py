@@ -132,6 +132,12 @@ class CycleEngine:
         # VC release; between those events the phase is a fixed point
         # (stuck FCFS queues stay stuck) and is skipped wholesale.
         self._alloc_dirty = False
+        # Channels whose pool state changed (request or release) since
+        # their last allocation visit.  In deterministic mode the pass
+        # visits only these: an unchanged channel re-runs to the same
+        # fixed point (its grant loop already stopped on empty frees or
+        # empty queues), so skipping it is exact — see _allocate_vcs.
+        self._alloc_candidates: set[int] = set()
 
     # ------------------------------------------------------------------
     # Arrival / injection interface
@@ -176,6 +182,7 @@ class CycleEngine:
         impatient = head.dynamic and head.route_classes[0] >= 2
         self.pools[ch].request(head.msg_id, 0, head.route_classes[0], impatient)
         self._pending_channels.add(ch)
+        self._alloc_candidates.add(ch)
         self._alloc_dirty = True
         self._head_requested[src] = True
 
@@ -190,9 +197,35 @@ class CycleEngine:
         # *sorted* so within-cycle FCFS enqueue order is a function of
         # the configuration alone — that is what lets the SoA engine
         # reproduce this engine's arbitration decisions bit for bit.
+        #
+        # In deterministic mode the snapshot is the *changed-channel*
+        # set rather than every pending channel: a channel whose pool
+        # was untouched since its last visit re-runs to the same fixed
+        # point (the grant loop already stopped on an empty free list or
+        # empty queue, and without impatient requests a visit has no
+        # other side effect), so skipping it cannot alter any grant.
+        # Mid-pass requests keep the snapshot semantics exactly: a
+        # channel past the current position joins this pass (as it
+        # would in the full sorted snapshot), an earlier one waits for
+        # the next cycle (as it did when its slot had already been
+        # visited).  Adaptive mode still visits every pending channel,
+        # because cancelling unserved impatient requests is a per-pass
+        # side effect on *unchanged* channels too.
         messages = self.messages
         self._alloc_dirty = False  # re-set by requests/releases below
-        for ch in sorted(self._pending_channels):
+        candidates = self._alloc_candidates
+        if self.adaptive:
+            order = sorted(self._pending_channels)
+            pending_at_start = None
+        else:
+            order = sorted(candidates)
+            pending_at_start = self._pending_channels.copy()
+        candidates.clear()
+        queued = set(order)
+        pos = 0
+        while pos < len(order):
+            ch = order[pos]
+            pos += 1
             pool = self.pools[ch]
             pending = pool.pending
             free_by_class = pool.free_by_class
@@ -211,6 +244,23 @@ class CycleEngine:
                     self._needs_reroute.extend(pool.drain_impatient(cls))
             if not pool.has_pending():
                 done.append(ch)
+            if candidates and pending_at_start is not None:
+                # Grants above may have enqueued fresh requests.  Match
+                # the full-snapshot pass exactly: a dirtied channel that
+                # was pending at pass start and whose sorted slot is
+                # still ahead joins this pass; every other one (already
+                # visited, or not in the start snapshot) waits for the
+                # next cycle, keeping its candidate mark.
+                added = [
+                    c2
+                    for c2 in candidates
+                    if c2 > ch and c2 not in queued and c2 in pending_at_start
+                ]
+                if added:
+                    order.extend(added)
+                    queued.update(added)
+                    order[pos:] = sorted(order[pos:])
+                    candidates.difference_update(added)
         pools = self.pools
         for ch in done:
             # Re-check before discarding: a grant later in this pass may
@@ -257,6 +307,7 @@ class CycleEngine:
             msg.route_classes[hop] = cls
             self.pools[ch].request(msg.msg_id, hop, cls, impatient)
             self._pending_channels.add(ch)
+            self._alloc_candidates.add(ch)
         self._alloc_dirty = True
 
     def _scan_moves(self) -> List[Tuple[Message, int]]:
@@ -323,6 +374,7 @@ class CycleEngine:
                             msg.msg_id, hop + 1, cls, impatient
                         )
                         self._pending_channels.add(nxt_ch)
+                        self._alloc_candidates.add(nxt_ch)
                         self._alloc_dirty = True
                 elif hop + 1 < msg.num_hops:
                     # Header reached the next router: request the next VC.
@@ -331,6 +383,7 @@ class CycleEngine:
                         msg.msg_id, hop + 1, msg.route_classes[hop + 1]
                     )
                     self._pending_channels.add(nxt_ch)
+                    self._alloc_candidates.add(nxt_ch)
                     self._alloc_dirty = True
             if c == msg.length:
                 # Tail crossed this channel: it has left the upstream
@@ -352,6 +405,7 @@ class CycleEngine:
         pool.release(vc)
         msg.vcs[hop] = -1
         self._alloc_dirty = True
+        self._alloc_candidates.add(ch)
         if pool.busy_count == 0:
             self._active_channels.discard(ch)
 

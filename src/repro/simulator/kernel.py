@@ -15,17 +15,32 @@ fixed two-pass sweep over those arrays:
   counter hits ``nxt_evt`` (header arrival or tail departure) are
   reported back to Python for boundary handling.
 
-Two interchangeable implementations of that sweep exist:
+Two kernel entry points share that sweep:
 
-* a ~40-line C kernel, compiled on first use with the system C compiler
-  into ``$REPRO_KERNEL_CACHE`` (default ``~/.cache/repro/kernels``) and
-  loaded through :mod:`ctypes` — this is what makes the SoA engine
-  several times faster than the reference engine;
-* a pure-``numpy`` fallback in :mod:`repro.simulator.soa` with the
-  identical integer semantics, used when no C compiler is available or
-  when ``REPRO_SOA_KERNEL=numpy`` forces it.
+* ``repro_soa_cycle`` advances **one** network per call (the solo
+  :class:`~repro.simulator.soa.SoACycleEngine`);
+* ``repro_soa_cycle_batch`` advances **B stacked networks** per call:
+  the slot arrays of B same-shape configurations live in contiguous
+  ``(B, slots + 1)`` planes (one sentinel slot per row) and one
+  invocation advances every *active* row through a whole *span* of
+  cycles — from its ``cur_cycle`` towards its caller-computed
+  ``stop_cycle``, breaking out early only after a cycle that emits
+  boundary events — reporting events as a merged list of global
+  indices ``row * row_stride + slot``.  This is what
+  :class:`~repro.simulator.batch.BatchedSoAEngine` runs on.
 
-Both produce bit-identical simulations (all state is integer).
+Both are compiled from one C source on first use with the system C
+compiler into ``$REPRO_KERNEL_CACHE`` (default ``~/.cache/repro/
+kernels``) and loaded through :mod:`ctypes`.  A cached shared object
+that fails to load (a worker killed mid-write, a truncated artifact
+from an interrupted run) is *quarantined* — renamed to ``*.corrupt``,
+mirroring the sweep cache's ``corrupt/`` convention — and compilation
+is retried once before degrading; pure-``numpy`` fallbacks with the
+identical integer semantics take over when no compiler is available or
+when ``REPRO_SOA_KERNEL=numpy`` forces them.
+
+All implementations produce bit-identical simulations (all state is
+integer).
 """
 
 from __future__ import annotations
@@ -38,9 +53,14 @@ import subprocess
 import tempfile
 import warnings
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Tuple
 
-__all__ = ["load_c_kernel", "c_kernel_available", "kernel_cache_dir"]
+__all__ = [
+    "load_c_kernel",
+    "load_c_kernel_batch",
+    "c_kernel_available",
+    "kernel_cache_dir",
+]
 
 C_SOURCE = r"""
 #include <stdint.h>
@@ -103,11 +123,141 @@ int64_t repro_soa_cycle(const uint64_t *ctx)
     *n_events_out = nev;
     return (int64_t) nwin;
 }
+
+/* A *span* of cycles for B stacked same-shape networks.  Every state
+   array is a contiguous (num_rows, ...) plane — slot arrays carry
+   row_stride = num_channels*num_vcs+1 entries per row (each row owns
+   its own sentinel slot) — and rows are fully independent: the sweep
+   below is the solo kernel applied row by row with offset base
+   pointers, so a batched row is bit-identical to the same network
+   advanced solo.
+
+   Between two kernel calls the *only* Python-side state mutations are
+   arrival admission, VC (de)allocation and boundary handling; the
+   caller encodes "nothing Python-side is due before cycle
+   stop_cycle[b]" per row, and within that window this kernel may run
+   many cycles autonomously:
+
+   * a row advances from cur_cycle[b] until its stop_cycle[b], but
+     stops early right after the first cycle that emits boundary
+     events (those need Python before the next cycle can be correct);
+   * a cycle with zero winners is a fixed point — no array changes
+     without a move, and busy_cnt / nxt_evt only change Python-side —
+     so the row provably stays move-free and jumps straight to stop;
+   * busy_cnt is likewise constant for the whole call, so each row's
+     busy-channel list is built once and only those channels are
+     scanned per cycle.
+
+   Rows with active[b] == 0 are retired configurations: skipped
+   wholesale without reshaping the batch.  Outputs per row: the new
+   cur_cycle, the span's total flit moves and the cycle of its last
+   move (-1 if none); boundary events are merged across rows into one
+   ascending list of global indices b * row_stride + slot.  At most
+   one event cycle fires per row per call, so events_out still needs
+   only num_rows*num_channels entries.  See _BATCH_CTX_LAYOUT in
+   kernel.py for the context block. */
+int64_t repro_soa_cycle_batch(const uint64_t *ctx)
+{
+    int32_t num_rows     = (int32_t) ctx[0];
+    int32_t num_channels = (int32_t) ctx[1];
+    int32_t num_vcs      = (int32_t) ctx[2];
+    int32_t row_stride   = (int32_t) ctx[3];
+    const int32_t *active    = (const int32_t *) ctx[4];   /* (B,)    */
+    const int32_t *busy_cnt  = (const int32_t *) ctx[5];   /* (B,C)   */
+    int32_t *rr              = (int32_t *) ctx[6];         /* (B,C)   */
+    int32_t *avail           = (int32_t *) ctx[7];         /* (B,S+1) */
+    int32_t *head_room       = (int32_t *) ctx[8];         /* (B,S+1) */
+    int32_t *moved           = (int32_t *) ctx[9];         /* (B,S+1) */
+    const int32_t *nxt_evt   = (const int32_t *) ctx[10];  /* (B,S+1) */
+    const int32_t *nxt_idx   = (const int32_t *) ctx[11];  /* (B,S+1) */
+    const int32_t *prv_idx   = (const int32_t *) ctx[12];  /* (B,S+1) */
+    int64_t *chan_flits      = (int64_t *) ctx[13];        /* (B,C)   */
+    int32_t *win_slots       = (int32_t *) ctx[14];        /* (C,)    */
+    int32_t *busy_list       = (int32_t *) ctx[15];        /* (C,)    */
+    int32_t *events_out      = (int32_t *) ctx[16];        /* (B*C,)  */
+    int32_t *n_events_out    = (int32_t *) ctx[17];        /* (1,)    */
+    int64_t *moves_out       = (int64_t *) ctx[18];        /* (B,)    */
+    int64_t *cur_cycle       = (int64_t *) ctx[19];        /* (B,) io */
+    const int64_t *stop_cycle = (const int64_t *) ctx[20]; /* (B,)    */
+    int64_t *last_move_out   = (int64_t *) ctx[21];        /* (B,)    */
+
+    int64_t total = 0;
+    int32_t nev = 0;
+    for (int32_t b = 0; b < num_rows; ++b) {
+        moves_out[b] = 0;
+        last_move_out[b] = -1;
+        if (!active[b]) continue;
+        int64_t cyc = cur_cycle[b];
+        int64_t stop = stop_cycle[b];
+        if (cyc >= stop) continue;
+        int32_t row_off = b * row_stride;
+        const int32_t *busy_b = busy_cnt + (int64_t) b * num_channels;
+        int32_t *rr_b         = rr + (int64_t) b * num_channels;
+        int32_t *avail_b      = avail + row_off;
+        int32_t *head_b       = head_room + row_off;
+        int32_t *moved_b      = moved + row_off;
+        const int32_t *nev_b  = nxt_evt + row_off;
+        const int32_t *nxt_b  = nxt_idx + row_off;
+        const int32_t *prv_b  = prv_idx + row_off;
+        int64_t *flits_b      = chan_flits + (int64_t) b * num_channels;
+
+        int32_t nbusy = 0;
+        for (int32_t c = 0; c < num_channels; ++c)
+            if (busy_b[c] != 0) busy_list[nbusy++] = c;
+        if (nbusy == 0) {             /* nothing can move all span */
+            cur_cycle[b] = stop;
+            continue;
+        }
+        int64_t mvtot = 0;
+        while (cyc < stop) {
+            int32_t nwin = 0;
+            for (int32_t i = 0; i < nbusy; ++i) {
+                int32_t c = busy_list[i];
+                int32_t base = c * num_vcs;
+                int32_t start = rr_b[c];
+                for (int32_t j = 0; j < num_vcs; ++j) {
+                    int32_t v = start + j;
+                    if (v >= num_vcs) v -= num_vcs;
+                    int32_t s = base + v;
+                    if (avail_b[s] > 0 && head_b[s] > 0) {
+                        win_slots[nwin++] = s;
+                        rr_b[c] = (v + 1 == num_vcs) ? 0 : v + 1;
+                        break;
+                    }
+                }
+            }
+            if (nwin == 0) {          /* fixed point: jump the stall */
+                cyc = stop;
+                break;
+            }
+            int32_t nev0 = nev;
+            for (int32_t w = 0; w < nwin; ++w) {
+                int32_t s = win_slots[w];
+                int32_t m = ++moved_b[s];
+                --avail_b[s];
+                --head_b[s];
+                ++avail_b[nxt_b[s]];
+                ++head_b[prv_b[s]];
+                ++flits_b[s / num_vcs];
+                if (m == nev_b[s]) events_out[nev++] = row_off + s;
+            }
+            mvtot += nwin;
+            last_move_out[b] = cyc;
+            ++cyc;
+            if (nev != nev0) break;   /* boundary work due Python-side */
+        }
+        cur_cycle[b] = cyc;
+        moves_out[b] = mvtot;
+        total += mvtot;
+    }
+    *n_events_out = nev;
+    return total;
+}
 """
 
-#: Context-block layout consumed by the C kernel: two scalars followed
-#: by the raw base addresses of the state arrays, as unsigned 64-bit
-#: values.  Must match the ctx[...] casts in C_SOURCE.
+#: Context-block layout consumed by the solo C kernel: two scalars
+#: followed by the raw base addresses of the state arrays, as unsigned
+#: 64-bit values.  Must match the ctx[...] casts in C_SOURCE.
 _CTX_LAYOUT = (
     "num_channels",
     "num_vcs",
@@ -126,9 +276,40 @@ _CTX_LAYOUT = (
 )
 CTX_SIZE = len(_CTX_LAYOUT)
 
+#: Context-block layout of the batched kernel: four scalars, then the
+#: base addresses of the (num_rows, ...) planes, scratch buffers and
+#: per-row span control (int64 cur/stop/last-move/moves).  Must match
+#: the ctx[...] casts in ``repro_soa_cycle_batch``.
+_BATCH_CTX_LAYOUT = (
+    "num_rows",
+    "num_channels",
+    "num_vcs",
+    "row_stride",
+    "active",
+    "busy_cnt",
+    "rr",
+    "avail",
+    "head_room",
+    "moved",
+    "nxt_evt",
+    "nxt_idx",
+    "prv_idx",
+    "chan_flits",
+    "win_slots",
+    "busy_list",
+    "events_out",
+    "n_events_out",
+    "moves_out",
+    "cur_cycle",
+    "stop_cycle",
+    "last_move_out",
+)
+BATCH_CTX_SIZE = len(_BATCH_CTX_LAYOUT)
+
 _ARGTYPES = [ctypes.POINTER(ctypes.c_uint64)]
 
-_loaded: Optional[object] = None
+#: ``(solo_fn, batch_fn)`` once loaded, else ``None``.
+_loaded: Optional[Tuple[object, object]] = None
 _load_attempted = False
 
 
@@ -147,13 +328,31 @@ def _compiler() -> Optional[str]:
     return None
 
 
+def _write_atomic(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a unique tmp file + atomic rename.
+
+    Pool workers may race to materialise the same cache file; each
+    writer lands its complete content in one ``os.replace``, so readers
+    (and the compiler) never see a half-written file.
+    """
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=path.suffix + ".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
 def _compile(cache_dir: Path, so_path: Path) -> None:
     cc = _compiler()
     if cc is None:
         raise RuntimeError("no C compiler on PATH (set CC to override)")
     cache_dir.mkdir(parents=True, exist_ok=True)
     src = cache_dir / (so_path.stem + ".c")
-    src.write_text(C_SOURCE)
+    _write_atomic(src, C_SOURCE)
     # Unique tmp per process: pool workers may compile concurrently, and
     # the final rename is atomic so they cannot corrupt each other.
     fd, tmp = tempfile.mkstemp(dir=cache_dir, suffix=".so.tmp")
@@ -171,15 +370,47 @@ def _compile(cache_dir: Path, so_path: Path) -> None:
             os.unlink(tmp)
 
 
-def load_c_kernel() -> Optional[object]:
-    """The compiled ``repro_soa_cycle`` function, or ``None``.
+def _quarantine_so(so_path: Path) -> None:
+    """Move an unloadable shared object aside as ``*.corrupt``.
 
-    Compilation and loading are attempted once per process; any failure
-    (no compiler, sandboxed filesystem, unloadable object) degrades to
-    ``None`` and the SoA engine falls back to its numpy kernel — with a
-    once-per-process :class:`RuntimeWarning` naming the actual failure,
-    so a missing compiler shows up as a warning instead of silently
-    masquerading as a ~4x performance regression.
+    Mirrors the sweep cache's quarantine convention: the damaged
+    artifact stays on disk for inspection instead of permanently
+    poisoning the cache slot.  Best-effort — a failed rename falls back
+    to deletion so the retry compile gets a clean slot either way.
+    """
+    try:
+        so_path.replace(so_path.with_suffix(".so.corrupt"))
+    except OSError:
+        try:
+            so_path.unlink()
+        except OSError:
+            pass
+
+
+def _load_functions(so_path: Path) -> Tuple[object, object]:
+    """CDLL + typed handles for both kernel entry points."""
+    lib = ctypes.CDLL(str(so_path))
+    fns = []
+    for name in ("repro_soa_cycle", "repro_soa_cycle_batch"):
+        fn = getattr(lib, name)
+        fn.argtypes = _ARGTYPES
+        fn.restype = ctypes.c_int64
+        fns.append(fn)
+    return fns[0], fns[1]
+
+
+def _load() -> Optional[Tuple[object, object]]:
+    """Compile (if needed) and load both kernels, once per process.
+
+    Any failure — no compiler, sandboxed filesystem, unloadable object —
+    degrades to ``None`` and the engines fall back to their numpy
+    kernels, with a once-per-process :class:`RuntimeWarning` naming the
+    actual failure so a missing compiler shows up as a warning instead
+    of silently masquerading as a ~4x performance regression.
+
+    A cached ``.so`` that exists but will not load (truncated by a
+    killed worker, stale from an interrupted run) is quarantined as
+    ``*.corrupt`` and compilation retried once before degrading.
     """
     global _loaded, _load_attempted
     if _load_attempted:
@@ -188,13 +419,26 @@ def load_c_kernel() -> Optional[object]:
     tag = hashlib.sha256(C_SOURCE.encode()).hexdigest()[:16]
     so_path = kernel_cache_dir() / f"repro_soa_{tag}.so"
     try:
-        if not so_path.exists():
+        existed = so_path.exists()
+        if not existed:
             _compile(kernel_cache_dir(), so_path)
-        lib = ctypes.CDLL(str(so_path))
-        fn = lib.repro_soa_cycle
-        fn.argtypes = _ARGTYPES
-        fn.restype = ctypes.c_int64
-        _loaded = fn
+        try:
+            _loaded = _load_functions(so_path)
+        except (OSError, AttributeError) as exc:
+            if not existed:
+                raise
+            # The cached artifact is corrupt: quarantine it and rebuild
+            # once rather than disabling the C kernel for the process.
+            _quarantine_so(so_path)
+            try:
+                _compile(kernel_cache_dir(), so_path)
+                _loaded = _load_functions(so_path)
+            except Exception:
+                raise RuntimeError(
+                    f"cached kernel {so_path.name} was corrupt "
+                    f"({type(exc).__name__}: {exc}) and recompilation "
+                    "failed"
+                ) from exc
     except subprocess.CalledProcessError as exc:
         stderr = (exc.stderr or b"").decode(errors="replace").strip()
         _warn_kernel_fallback(f"compilation failed: {stderr or exc}")
@@ -205,8 +449,20 @@ def load_c_kernel() -> Optional[object]:
     return _loaded
 
 
+def load_c_kernel() -> Optional[object]:
+    """The compiled single-network ``repro_soa_cycle``, or ``None``."""
+    fns = _load()
+    return None if fns is None else fns[0]
+
+
+def load_c_kernel_batch() -> Optional[object]:
+    """The compiled multi-network ``repro_soa_cycle_batch``, or ``None``."""
+    fns = _load()
+    return None if fns is None else fns[1]
+
+
 def _warn_kernel_fallback(reason: str) -> None:
-    """One warning per process when the C kernel degrades to numpy."""
+    """One warning per process when the C kernels degrade to numpy."""
     warnings.warn(
         f"repro: SoA C kernel unavailable ({reason}); falling back to the "
         "slower pure-numpy kernel.  Install a C compiler (or set CC) to "

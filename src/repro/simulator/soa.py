@@ -68,26 +68,38 @@ _FINAL_BONUS = 1 << 28
 _EMPTY_EVENTS = np.empty(0, dtype=np.int32)
 
 
-def resolve_soa_kernel() -> str:
+def resolve_soa_kernel(kernel: str = "auto") -> str:
     """Which SoA kernel to use: ``"c"`` or ``"numpy"``.
 
-    Honours ``REPRO_SOA_KERNEL`` (``auto`` | ``c`` | ``numpy``); raises
-    a :class:`ValueError` naming the variable on bad input, or a
-    :class:`RuntimeError` when ``c`` is forced but unavailable.
+    The ``kernel`` argument and ``$REPRO_SOA_KERNEL`` are normalised
+    identically (case- and whitespace-insensitive, empty means
+    ``auto``); a non-``auto`` argument wins, ``auto`` defers to the
+    environment variable.  Raises a :class:`ValueError` naming the
+    offending source on bad input, or a :class:`RuntimeError` when
+    ``c`` is forced but unavailable.
     """
-    raw = os.environ.get("REPRO_SOA_KERNEL", "auto").strip().lower() or "auto"
+    raw = str(kernel).strip().lower() or "auto"
     if raw not in ("auto", "c", "numpy"):
         raise ValueError(
-            f"REPRO_SOA_KERNEL must be 'auto', 'c' or 'numpy', got {raw!r}"
+            f"kernel must be 'auto', 'c' or 'numpy', got {kernel!r}"
         )
+    if raw == "auto":
+        raw = (
+            os.environ.get("REPRO_SOA_KERNEL", "auto").strip().lower()
+            or "auto"
+        )
+        if raw not in ("auto", "c", "numpy"):
+            raise ValueError(
+                f"REPRO_SOA_KERNEL must be 'auto', 'c' or 'numpy', got {raw!r}"
+            )
     if raw == "numpy":
         return "numpy"
     if load_c_kernel() is not None:
         return "c"
     if raw == "c":
         raise RuntimeError(
-            "REPRO_SOA_KERNEL=c but the C kernel could not be compiled "
-            "(no C compiler on PATH?)"
+            "the C kernel was forced (REPRO_SOA_KERNEL=c or kernel='c') "
+            "but could not be compiled (no C compiler on PATH?)"
         )
     return "numpy"
 
@@ -213,6 +225,7 @@ class SoACycleEngine(CycleEngine):
         self.pools[ch].release(vc)
         msg.vcs[hop] = -1
         self._alloc_dirty = True
+        self._alloc_candidates.add(ch)
         slot = ch * self.num_vcs + vc
         self._slot_msg[slot] = None
         self._slot_hop[slot] = -1
@@ -241,6 +254,7 @@ class SoACycleEngine(CycleEngine):
                         msg.msg_id, hop + 1, cls, impatient
                     )
                     self._pending_channels.add(nxt_ch)
+                    self._alloc_candidates.add(nxt_ch)
                     self._alloc_dirty = True
             elif hop + 1 < msg.num_hops:
                 nxt_ch = msg.route_channels[hop + 1]
@@ -248,6 +262,7 @@ class SoACycleEngine(CycleEngine):
                     msg.msg_id, hop + 1, msg.route_classes[hop + 1]
                 )
                 self._pending_channels.add(nxt_ch)
+                self._alloc_candidates.add(nxt_ch)
                 self._alloc_dirty = True
             self._nxt_evt[slot] = msg.length
         if moved == msg.length:

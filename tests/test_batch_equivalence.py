@@ -1,0 +1,203 @@
+"""Batched-engine equivalence: N networks per kernel call vs N solo runs.
+
+The batched structure-of-arrays engine is only allowed to be *faster*
+than running its member configurations one by one, never different:
+every row's :class:`SimulationResult` must equal the solo run bit for
+bit — mixed seeds and rates, members retiring at different cycles
+(short windows, completion targets, saturation, zero load), adaptive
+routing, warmup edge cases — for both the C and the numpy kernel.
+
+A hypothesis property sweeps random batch compositions; pinned cases
+keep the matrix covered on --hypothesis-seed reruns.  ``run_batch`` is
+the public entry: shape grouping, seed overrides and input-order
+results are covered here too, as is the CI acceptance case — a B=8
+same-shape batch bit-identical to eight solo runs.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import (
+    BatchedSoAEngine,
+    Simulation,
+    SimulationConfig,
+    batch_shape_key,
+    run_batch,
+)
+from repro.simulator.kernel import c_kernel_available
+from repro.simulator.network import TorusWorkload
+from repro.simulator.sim import _workload_result
+
+BASE = SimulationConfig(
+    k=8,
+    message_length=16,
+    rate=1e-3,
+    hotspot_fraction=0.2,
+    warmup_cycles=2_000,
+    measure_cycles=8_000,
+    seed=7,
+)
+
+
+def available_kernels():
+    kernels = ["numpy"]
+    if c_kernel_available():
+        kernels.append("c")
+    return kernels
+
+
+def run_batched(cfgs, kernel):
+    workloads = [TorusWorkload(c) for c in cfgs]
+    BatchedSoAEngine(workloads, kernel=kernel).run()
+    return [_workload_result(w) for w in workloads]
+
+
+def assert_batch_matches_solo(cfgs, kernels=None):
+    solos = [Simulation(c).run() for c in cfgs]
+    for kernel in kernels or available_kernels():
+        batched = run_batched(cfgs, kernel)
+        for i, (solo, batch) in enumerate(zip(solos, batched)):
+            assert solo == batch, f"row {i} diverged (kernel={kernel})"
+
+
+class TestAcceptance:
+    def test_b8_same_shape_bit_identical(self):
+        """The PR's acceptance gate: B=8, one shape, eight exact matches."""
+        cfgs = [replace(BASE, seed=100 + i) for i in range(8)]
+        assert_batch_matches_solo(cfgs)
+
+
+class TestPinnedCompositions:
+    def test_mixed_seeds_and_rates(self):
+        cfgs = [
+            replace(BASE, seed=s, rate=r)
+            for s, r in [(1, 1e-3), (2, 3e-3), (3, 5e-4), (4, 2e-3)]
+        ]
+        assert_batch_matches_solo(cfgs)
+
+    def test_staggered_completion(self):
+        """Rows retire at wildly different cycles; survivors must not drift."""
+        cfgs = [
+            replace(BASE, seed=11, measure_cycles=1_500),
+            replace(BASE, seed=12, target_completions=50),
+            replace(BASE, seed=13, rate=0.2),  # saturates, backlog exit
+            replace(BASE, seed=14),
+            replace(BASE, seed=15, rate=1e-5),  # idle fast-forward heavy
+            replace(BASE, seed=16, rate=0.0),  # never generates
+            replace(BASE, seed=17, buffer_depth=2, message_length=8),
+            replace(BASE, seed=18, rate=4e-3),
+        ]
+        assert_batch_matches_solo(cfgs)
+
+    def test_adaptive_routing(self):
+        cfgs = [
+            replace(BASE, seed=s, num_vcs=3, routing="adaptive", rate=2e-3)
+            for s in (21, 22, 23, 24)
+        ]
+        assert_batch_matches_solo(cfgs)
+
+    def test_warmup_edges(self):
+        cfgs = [
+            replace(BASE, seed=31, warmup_cycles=0),
+            replace(BASE, seed=32, warmup_cycles=50_000, measure_cycles=1_000),
+            replace(BASE, seed=33, warmup_cycles=1),
+            replace(BASE, seed=34),
+        ]
+        assert_batch_matches_solo(cfgs)
+
+    @pytest.mark.skipif(
+        not c_kernel_available(), reason="no C compiler available"
+    )
+    def test_c_and_numpy_batched_agree(self):
+        cfgs = [replace(BASE, seed=s) for s in (41, 42, 43)]
+        assert run_batched(cfgs, "c") == run_batched(cfgs, "numpy")
+
+
+@st.composite
+def batch_members(draw):
+    return [
+        replace(
+            BASE,
+            seed=draw(st.integers(0, 2**16)),
+            rate=draw(st.floats(1e-5, 6e-3, allow_nan=False)),
+            message_length=draw(st.integers(1, 24)),
+            buffer_depth=draw(st.integers(1, 4)),
+            hotspot_fraction=draw(st.sampled_from([0.0, 0.2, 0.6])),
+            warmup_cycles=draw(st.sampled_from([0, 500])),
+            measure_cycles=draw(st.integers(800, 3_000)),
+            target_completions=draw(st.sampled_from([None, 40])),
+        )
+        for _ in range(draw(st.integers(2, 5)))
+    ]
+
+
+class TestEquivalenceProperty:
+    @given(cfgs=batch_members())
+    @settings(max_examples=15, deadline=None)
+    def test_batch_matches_solo(self, cfgs):
+        assert_batch_matches_solo(cfgs)
+
+
+class TestValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BatchedSoAEngine([])
+
+    def test_mixed_shapes_rejected(self):
+        workloads = [
+            TorusWorkload(replace(BASE, seed=1)),
+            TorusWorkload(replace(BASE, seed=2, k=4)),
+        ]
+        with pytest.raises(ValueError, match="batch_shape_key"):
+            BatchedSoAEngine(workloads)
+
+    def test_stale_workload_rejected(self):
+        w = TorusWorkload(replace(BASE, seed=1, measure_cycles=500))
+        w.run()
+        with pytest.raises(ValueError, match="freshly constructed"):
+            BatchedSoAEngine([w, TorusWorkload(replace(BASE, seed=2))])
+
+    def test_reference_engine_rejected(self):
+        w = TorusWorkload(replace(BASE, engine="reference"))
+        with pytest.raises(TypeError, match="structure-of-arrays"):
+            BatchedSoAEngine([w])
+
+    def test_shape_key_fields(self):
+        assert batch_shape_key(BASE) == batch_shape_key(
+            replace(BASE, seed=9, rate=5e-3, message_length=4)
+        )
+        assert batch_shape_key(BASE) != batch_shape_key(replace(BASE, k=4))
+        assert batch_shape_key(BASE) != batch_shape_key(
+            replace(BASE, num_vcs=3)
+        )
+
+
+class TestRunBatch:
+    def test_groups_by_shape_and_keeps_order(self):
+        cfgs = [
+            replace(BASE, seed=1),
+            replace(BASE, seed=2, k=4, measure_cycles=2_000),
+            replace(BASE, seed=3),
+            replace(BASE, seed=4, k=4, measure_cycles=2_000),
+            replace(BASE, seed=5, engine="reference", measure_cycles=1_000),
+        ]
+        results = run_batch(cfgs)
+        assert len(results) == len(cfgs)
+        solos = [Simulation(c).run() for c in cfgs]
+        assert results == solos
+
+    def test_seed_override(self):
+        cfgs = [replace(BASE, seed=0)] * 3
+        results = run_batch(cfgs, seeds=[51, 52, 53])
+        solos = [Simulation(replace(BASE, seed=s)).run() for s in (51, 52, 53)]
+        assert results == solos
+
+    def test_seed_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="seeds"):
+            run_batch([BASE], seeds=[1, 2])
+
+    def test_singleton_runs_solo(self):
+        assert run_batch([BASE]) == [Simulation(BASE).run()]

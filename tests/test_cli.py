@@ -98,9 +98,18 @@ class TestPanelCommands:
     def test_panel_sweep_flags_parsed(self):
         args = build_parser().parse_args(
             ["panel", "fig1_h40", "--simulate", "--jobs", "4", "--no-cache",
-             "--seed", "9"]
+             "--seed", "9", "--batch", "8"]
         )
         assert args.jobs == 4 and args.no_cache and args.seed == 9
+        assert args.batch == 8
+
+    def test_panel_batch_defaults_to_env(self):
+        args = build_parser().parse_args(["panel", "fig1_h40"])
+        assert args.batch is None  # engine falls back to $REPRO_SIM_BATCH
+
+    def test_panel_batch_rejects_zero(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["panel", "fig1_h40", "--batch", "0"])
 
     def test_panel_jobs_model_only(self, capsys):
         # --jobs with a model-only run exercises the engine path without

@@ -218,6 +218,40 @@ class TestEngineSelection:
         with pytest.raises(ValueError, match="REPRO_SOA_KERNEL"):
             resolve_soa_kernel()
 
+    def test_engine_argument_normalized(self, monkeypatch):
+        # Case- and whitespace-insensitive, empty means auto — the same
+        # normalisation $REPRO_ENGINE gets.
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine_kind("  SoA ") == "soa"
+        assert resolve_engine_kind("REFERENCE") == "reference"
+        assert resolve_engine_kind("") == "soa"
+        assert resolve_engine_kind(" Auto\t") == "soa"
+
+    def test_engine_env_normalized(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "  Reference ")
+        assert resolve_engine_kind("auto") == "reference"
+        monkeypatch.setenv("REPRO_ENGINE", "")
+        assert resolve_engine_kind("auto") == "soa"
+
+    def test_bad_engine_argument_raises(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        with pytest.raises(ValueError, match="turbo"):
+            resolve_engine_kind("turbo")
+
+    def test_kernel_argument_normalized(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOA_KERNEL", raising=False)
+        assert resolve_soa_kernel(" NumPy ") == "numpy"
+        assert resolve_soa_kernel("") in ("c", "numpy")  # empty == auto
+
+    def test_kernel_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOA_KERNEL", "c")
+        assert resolve_soa_kernel("numpy") == "numpy"
+
+    def test_bad_kernel_argument_raises(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOA_KERNEL", raising=False)
+        with pytest.raises(ValueError, match="fortran"):
+            resolve_soa_kernel("fortran")
+
     def test_simulation_result_identical_across_engines(self):
         ref = Simulation(replace(self.BASE, engine="reference")).run()
         soa = Simulation(replace(self.BASE, engine="soa")).run()

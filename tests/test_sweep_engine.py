@@ -449,9 +449,69 @@ class TestValidation:
         with pytest.raises(ValueError, match="jobs"):
             SweepEngine(jobs=0)
 
+    def test_batch_must_be_positive(self):
+        with pytest.raises(ValueError, match="batch"):
+            SweepEngine(batch=0)
+
     def test_model_only_panel_has_no_simulation(self):
         result = SweepEngine(use_cache=False).run_panel(
             tiny_panel(), simulate=False
         )
         assert result.simulation is None
         assert len(result.model.points) == 4
+
+
+class TestBatchedSweeps:
+    """``batch > 1`` chunks points onto the batched engine, results equal."""
+
+    KWARGS = dict(seed=7, measure_cycles=3_000, warmup_cycles=500)
+
+    def test_sequential_batched_bit_identical(self):
+        spec = tiny_panel()
+        ref = SweepEngine(jobs=1, use_cache=False).run_panel(spec, **self.KWARGS)
+        for batch in (2, 3, 8):
+            got = SweepEngine(jobs=1, batch=batch, use_cache=False).run_panel(
+                spec, **self.KWARGS
+            )
+            assert got.simulation == ref.simulation, f"batch={batch}"
+
+    def test_parallel_batched_bit_identical(self):
+        spec = tiny_panel()
+        ref = SweepEngine(jobs=1, use_cache=False).run_panel(spec, **self.KWARGS)
+        got = SweepEngine(jobs=2, batch=2, use_cache=False).run_panel(
+            spec, **self.KWARGS
+        )
+        assert got.simulation == ref.simulation
+
+    def test_batched_run_populates_cache(self, tmp_path, monkeypatch):
+        spec = tiny_panel()
+        engine = SweepEngine(jobs=1, batch=4, cache_dir=tmp_path)
+        first = engine.run_panel(spec, **self.KWARGS)
+
+        def boom(*a, **k):
+            raise AssertionError("should have been served from cache")
+
+        monkeypatch.setattr(sweep_mod, "run_batch", boom)
+        again = SweepEngine(jobs=1, batch=4, cache_dir=tmp_path).run_panel(
+            spec, **self.KWARGS
+        )
+        assert again.simulation == first.simulation
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BATCH", " 6 ")
+        assert SweepEngine().batch == 6
+        monkeypatch.delenv("REPRO_SIM_BATCH")
+        assert SweepEngine().batch == 1
+        assert SweepEngine(batch=3).batch == 3
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BATCH", "many")
+        with pytest.raises(ValueError, match="REPRO_SIM_BATCH"):
+            SweepEngine()
+        monkeypatch.setenv("REPRO_SIM_BATCH", "0")
+        with pytest.raises(ValueError, match="REPRO_SIM_BATCH"):
+            SweepEngine()
+
+    def test_explicit_batch_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BATCH", "8")
+        assert SweepEngine(batch=2).batch == 2
