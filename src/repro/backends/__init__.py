@@ -1,0 +1,62 @@
+"""Sweep execution backends (see :mod:`repro.backends.base`).
+
+``resolve_backend`` maps user-facing selector strings to instances:
+
+* ``"local"`` — the in-process :class:`LocalPoolBackend` (default).
+* ``"file:<campaign-dir>"`` — a :class:`FileQueueBackend` coordinating
+  externally started ``repro worker`` processes on a shared filesystem.
+
+The environment variable ``REPRO_BACKEND`` supplies the default
+selector when the engine is constructed without an explicit backend.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.backends.base import SweepBackend
+from repro.backends.filequeue import FileQueueBackend
+from repro.backends.local import LocalPoolBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "FileQueueBackend",
+    "LocalPoolBackend",
+    "SweepBackend",
+    "resolve_backend",
+]
+
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def resolve_backend(
+    selector: Optional[Union[str, SweepBackend]] = None, *, jobs: int = 1
+) -> SweepBackend:
+    """Build a backend from a selector string, instance, or the environment.
+
+    ``None`` consults ``$REPRO_BACKEND`` and falls back to ``"local"``.
+    ``jobs`` sizes the local pool (ignored by distributed backends,
+    whose parallelism is however many workers join the campaign).
+    """
+    if isinstance(selector, SweepBackend):
+        return selector
+    if selector is None:
+        selector = os.environ.get(BACKEND_ENV_VAR, "").strip() or "local"
+    name, _, arg = selector.partition(":")
+    name = name.strip().lower()
+    if name == "local":
+        if arg:
+            raise ValueError(
+                f"backend selector {selector!r}: 'local' takes no argument"
+            )
+        return LocalPoolBackend(jobs=jobs)
+    if name == "file":
+        if not arg:
+            raise ValueError(
+                f"backend selector {selector!r}: expected 'file:<campaign-dir>'"
+            )
+        return FileQueueBackend(arg)
+    raise ValueError(
+        f"unknown sweep backend {name!r} (expected 'local' or 'file:<dir>')"
+    )

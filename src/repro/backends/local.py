@@ -1,0 +1,56 @@
+"""The in-process backend: today's resilient pool, behind the interface.
+
+:class:`LocalPoolBackend` wraps
+:class:`~repro.resilience.ResilientExecutor` *unchanged* — the
+``jobs=N`` process pool with per-attempt timeouts, capped-backoff
+retries and pool rebuilds.  It is the degenerate case of the backend
+split: a campaign run on it is byte-for-byte the campaign the engine
+ran before backends existed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.backends.base import SweepBackend
+from repro.resilience import (
+    ExecutorStats,
+    ResilientExecutor,
+    RetryPolicy,
+    TaskFailure,
+)
+
+__all__ = ["LocalPoolBackend"]
+
+
+class LocalPoolBackend(SweepBackend):
+    """Run work units on a local resilient process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes of the underlying pool.
+    """
+
+    name = "local"
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+
+    def run(
+        self,
+        fn: Callable,
+        tasks: Mapping[Hashable, tuple],
+        *,
+        policy: RetryPolicy,
+        stats: ExecutorStats,
+        on_result: Optional[Callable] = None,
+        on_retry: Optional[Callable] = None,
+        store: Optional[object] = None,
+    ) -> Tuple[Dict[Hashable, object], Dict[Hashable, TaskFailure]]:
+        # ``store`` is unused: the engine itself caches completions via
+        # on_result, and pool workers share the engine's process image.
+        executor = ResilientExecutor(self.jobs, policy, stats=stats)
+        return executor.run(fn, tasks, on_result=on_result, on_retry=on_retry)

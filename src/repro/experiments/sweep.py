@@ -17,6 +17,17 @@ Parallel simulation
     at the first saturated point afterwards — the returned
     :class:`~repro.core.results.SweepResult` is identical either way.
 
+Pluggable execution backends
+    Parallel campaigns run on a :class:`~repro.backends.SweepBackend`:
+    the default :class:`~repro.backends.LocalPoolBackend` is the
+    resilient in-process pool below, byte-for-byte the pre-backend
+    engine; ``backend="file:<campaign-dir>"`` (or
+    ``REPRO_BACKEND=file:<dir>``) coordinates any number of ``repro
+    worker`` processes across hosts sharing a filesystem
+    (:class:`~repro.backends.FileQueueBackend`) with lease-based
+    claiming, heartbeat health monitoring and crash-consistent requeue
+    — results stay bit-identical on every backend.
+
 Fault tolerance
     Points run under a :class:`~repro.resilience.ResilientExecutor`:
     every attempt gets a wall-clock timeout (``point_timeout``), failed
@@ -61,7 +72,10 @@ On-disk result cache
     ignored, and stale ``*.tmp`` files left by interrupted writers are
     swept on engine startup.  The cache lives in ``$REPRO_CACHE_DIR``
     when set, else ``~/.cache/repro/sweeps``; ``use_cache=False`` (CLI
-    ``--no-cache``) bypasses it entirely.
+    ``--no-cache``) bypasses it entirely.  The implementation is the
+    shared :class:`repro.store.ResultStore` — concurrent-writer safe
+    (unique-tmp + atomic rename), so distributed file-queue workers on
+    other hosts populate the same store the local engine reads.
 
 The legacy entry points :func:`repro.experiments.runner.run_panel` and
 ``run_panel_model_only`` delegate here with ``jobs=1`` — the sequential
@@ -75,11 +89,12 @@ import json
 import math
 import os
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import faults
+from repro.backends import SweepBackend, resolve_backend
 from repro.core.model import HotSpotLatencyModel
 from repro.core.results import SweepPoint, SweepResult
 from repro.experiments.figures import PanelSpec
@@ -87,11 +102,18 @@ from repro.resilience import (
     CheckpointJournal,
     ExecutorStats,
     PointFailure,
-    ResilientExecutor,
     RetryPolicy,
 )
 from repro.simulator.config import SimulationConfig
 from repro.simulator.sim import Simulation, run_batch
+from repro.store import (
+    CACHE_VERSION as _CACHE_VERSION,
+    TMP_MAX_AGE_SECONDS as _TMP_MAX_AGE_SECONDS,
+    ResultStore,
+    config_key,
+    default_store_dir,
+    payload_checksum as _payload_checksum,
+)
 
 __all__ = [
     "PanelResult",
@@ -104,25 +126,18 @@ __all__ = [
     "sim_measure_cycles",
 ]
 
-#: Bump to orphan every existing cache entry (format or semantics change).
-#: Version 2 added the in-body schema/checksum envelope.
-_CACHE_VERSION = 2
-
-#: ``*.tmp`` files in the cache older than this are orphans of an
-#: interrupted writer and are removed on engine startup (young ones may
-#: belong to a concurrently running campaign).
-_TMP_MAX_AGE_SECONDS = 600.0
-
 #: Bump when the checkpoint-journal campaign format changes.
 _JOURNAL_VERSION = 1
+
+#: Back-compat alias: the on-disk point cache grew into the shared
+#: content-addressed :class:`repro.store.ResultStore` (concurrent-writer
+#: safe so distributed file-queue workers can populate it too).
+_SweepCache = ResultStore
 
 
 def default_cache_dir() -> Path:
     """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/sweeps``."""
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro" / "sweeps"
+    return default_store_dir()
 
 
 def sim_measure_cycles(default: int = 120_000) -> int:
@@ -203,13 +218,6 @@ def point_seed(base_seed: int, panel: str, index: int) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
-def config_key(cfg: SimulationConfig) -> str:
-    """SHA-256 cache/journal key of a full simulation configuration."""
-    payload = {"version": _CACHE_VERSION, "config": asdict(cfg)}
-    blob = json.dumps(payload, sort_keys=True, default=str)
-    return hashlib.sha256(blob.encode()).hexdigest()
-
-
 @dataclass
 class PanelResult:
     """Paired model/simulation curves for one panel."""
@@ -270,132 +278,6 @@ def _simulate_chunk(
     return points
 
 
-def _payload_checksum(payload: dict) -> str:
-    return hashlib.sha256(
-        json.dumps(payload, sort_keys=True).encode()
-    ).hexdigest()
-
-
-def _is_number(value: object) -> bool:
-    return isinstance(value, (int, float)) and not isinstance(value, bool)
-
-
-class _SweepCache:
-    """One JSON file per simulated point, keyed by the config hash.
-
-    Entry bodies are versioned and checksummed::
-
-        {"schema": 2, "payload": {rate, latency, saturated}, "checksum": ...}
-
-    :meth:`get` validates schema version, checksum and field types; any
-    corrupt, truncated or stale-schema entry is *quarantined* — moved to
-    ``<root>/corrupt/<key>.<reason>.json`` so the damage stays
-    inspectable — and the point recomputed.  Reads never raise.
-    """
-
-    def __init__(self, root: Path) -> None:
-        self.root = Path(root)
-
-    def _path(self, cfg: SimulationConfig) -> Path:
-        return self.root / f"{config_key(cfg)}.json"
-
-    def clean_stale_tmp(self, max_age: float = _TMP_MAX_AGE_SECONDS) -> int:
-        """Remove orphaned ``*.tmp`` files left by interrupted writers.
-
-        Only files older than ``max_age`` seconds go (a young tmp may
-        belong to a concurrently running writer).  Returns the count
-        removed; never raises.
-        """
-        try:
-            candidates = list(self.root.glob("*.tmp"))
-        except OSError:
-            return 0
-        removed = 0
-        now = time.time()
-        for tmp in candidates:
-            try:
-                if now - tmp.stat().st_mtime >= max_age:
-                    tmp.unlink()
-                    removed += 1
-            except OSError:
-                continue
-        return removed
-
-    def _quarantine(self, path: Path, reason: str) -> None:
-        """Move a bad entry to ``corrupt/`` (best-effort, never raises)."""
-        try:
-            dest_dir = self.root / "corrupt"
-            dest_dir.mkdir(parents=True, exist_ok=True)
-            path.replace(dest_dir / f"{path.stem}.{reason}.json")
-        except OSError:
-            try:
-                path.unlink()
-            except OSError:
-                pass
-
-    def get(self, cfg: SimulationConfig) -> Optional[SweepPoint]:
-        path = self._path(cfg)
-        try:
-            raw = path.read_text()
-        except OSError:
-            return None  # plain miss
-        except UnicodeDecodeError:
-            self._quarantine(path, "parse")
-            return None
-        try:
-            data = json.loads(raw)
-        except ValueError:
-            self._quarantine(path, "parse")
-            return None
-        if not isinstance(data, dict) or data.get("schema") != _CACHE_VERSION:
-            self._quarantine(path, "schema")
-            return None
-        payload = data.get("payload")
-        if not isinstance(payload, dict) or data.get(
-            "checksum"
-        ) != _payload_checksum(payload):
-            self._quarantine(path, "checksum")
-            return None
-        rate = payload.get("rate")
-        latency = payload.get("latency")
-        saturated = payload.get("saturated")
-        if (
-            not _is_number(rate)
-            or not _is_number(latency)
-            or not isinstance(saturated, bool)
-        ):
-            self._quarantine(path, "fields")
-            return None
-        return SweepPoint(
-            rate=float(rate), latency=float(latency), saturated=saturated
-        )
-
-    def put(self, cfg: SimulationConfig, point: SweepPoint) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self._path(cfg)
-        payload = {
-            "rate": point.rate,
-            "latency": point.latency,
-            "saturated": point.saturated,
-        }
-        body = json.dumps(
-            {
-                "schema": _CACHE_VERSION,
-                "payload": payload,
-                "checksum": _payload_checksum(payload),
-            },
-            sort_keys=True,
-        )
-        # Chaos hook: the fault harness may hand back a truncated body,
-        # which the next get() must quarantine and recompute.
-        body = faults.corrupt_cache_body(path.stem, body)
-        # Unique tmp per writer: concurrent processes computing the same
-        # point must not clobber each other's half-written file.
-        tmp = path.with_suffix(f".{os.getpid()}.tmp")
-        tmp.write_text(body)
-        tmp.replace(path)
-
-
 #: Campaign-internal point key: ``(panel name, grid index)``.
 _PointKey = Tuple[str, int]
 
@@ -440,10 +322,23 @@ class SweepEngine:
         pool.  ``None`` (default) disables the deadline.
     backoff_base:
         Base of the capped exponential retry backoff (seconds).
+    jitter:
+        Decorrelate retry backoff delays (see
+        :class:`~repro.resilience.RetryPolicy`).  Off by default so
+        chaos replay stays deterministic.
     resume:
         Default for :meth:`run_panels`'s ``resume``: restore
         checkpointed points from the campaign journal instead of
         recomputing them.
+    backend:
+        Execution substrate for parallel campaigns: ``None`` (consult
+        ``$REPRO_BACKEND``, default local), a selector string
+        (``"local"``, ``"file:<campaign-dir>"``) or a
+        :class:`~repro.backends.SweepBackend` instance.  The default
+        local backend is byte-for-byte the pre-backend engine; a
+        distributed backend always takes the campaign path (its
+        parallelism is however many workers join), and the shared
+        result store is advertised to its workers.
 
     ``stats`` accumulates :class:`~repro.resilience.ExecutorStats`
     (retries, timeouts, pool rebuilds, terminal failures) across this
@@ -469,7 +364,9 @@ class SweepEngine:
         max_retries: int = 2,
         point_timeout: Optional[float] = None,
         backoff_base: float = 0.05,
+        jitter: bool = False,
         resume: bool = False,
+        backend: "str | SweepBackend | None" = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -482,9 +379,11 @@ class SweepEngine:
             max_retries=max_retries,
             point_timeout=point_timeout,
             backoff_base=backoff_base,
+            jitter=jitter,
         )
         self.resume = bool(resume)
         self.stats = ExecutorStats()
+        self.backend = resolve_backend(backend, jobs=self.jobs)
         self.cache_root = (
             Path(cache_dir) if cache_dir is not None else default_cache_dir()
         )
@@ -952,9 +851,14 @@ class SweepEngine:
         def on_retry(key: _PointKey, kind: str, attempt: int) -> None:
             self._journal_retry(journal, key[0], key[1], kind, attempt)
 
-        executor = ResilientExecutor(self.jobs, self.policy, stats=self.stats)
-        _, task_failures = executor.run(
-            _simulate_point, tasks, on_result=on_result, on_retry=on_retry
+        _, task_failures = self.backend.run(
+            _simulate_point,
+            tasks,
+            policy=self.policy,
+            stats=self.stats,
+            on_result=on_result,
+            on_retry=on_retry,
+            store=self.cache,
         )
         failures: Dict[_PointKey, PointFailure] = {}
         for key, tf in task_failures.items():
@@ -1032,10 +936,14 @@ class SweepEngine:
         def on_retry(ckey: _PointKey, kind: str, attempt: int) -> None:
             self._journal_retry(journal, ckey[0], ckey[1], kind, attempt)
 
-        executor = ResilientExecutor(self.jobs, self.policy, stats=self.stats)
-        _, task_failures = executor.run(
-            _simulate_chunk, chunk_tasks,
-            on_result=on_result, on_retry=on_retry,
+        _, task_failures = self.backend.run(
+            _simulate_chunk,
+            chunk_tasks,
+            policy=self.policy,
+            stats=self.stats,
+            on_result=on_result,
+            on_retry=on_retry,
+            store=self.cache,
         )
         failures: Dict[_PointKey, PointFailure] = {}
         for ckey, tf in task_failures.items():
@@ -1076,7 +984,9 @@ class SweepEngine:
         if use_journal:
             journal, done = self._open_journal(specs, cfgs_by, seed, resume)
         try:
-            if self.jobs == 1:
+            # Distributed backends always take the campaign path: their
+            # parallelism is however many workers join, not self.jobs.
+            if self.jobs == 1 and self.backend.name == "local":
                 points, failures = self._campaign_sequential(
                     specs, cfgs_by, done, journal
                 )

@@ -125,3 +125,106 @@ class TestPanelCommands:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "9"])
+
+
+class TestWorkerCommand:
+    def test_worker_defaults(self):
+        args = build_parser().parse_args(["worker", "/shared/campaign"])
+        assert args.command == "worker"
+        assert args.campaign_dir == "/shared/campaign"
+        assert args.id is None
+        assert args.poll == 0.2
+        assert args.heartbeat == 5.0
+        assert args.lease_duration == 60.0
+        assert args.once is False
+        assert args.max_units is None
+
+    def test_worker_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["worker", "c", "--id", "w1", "--poll", "0.05",
+             "--heartbeat", "0.5", "--lease-duration", "10",
+             "--once", "--max-units", "3"]
+        )
+        assert args.id == "w1" and args.poll == 0.05
+        assert args.heartbeat == 0.5 and args.lease_duration == 10.0
+        assert args.once and args.max_units == 3
+
+    def test_worker_rejects_zero_max_units(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker", "c", "--max-units", "0"])
+
+
+class TestSweepBackendFlags:
+    def test_backend_default_none(self):
+        # None lets the engine fall back to $REPRO_BACKEND, then "local".
+        args = build_parser().parse_args(["panel", "fig1_h40"])
+        assert args.backend is None
+        assert args.allow_failures is False
+
+    def test_backend_and_allow_failures_parsed(self):
+        args = build_parser().parse_args(
+            ["figure", "1", "--backend", "file:/shared/c", "--allow-failures"]
+        )
+        assert args.backend == "file:/shared/c"
+        assert args.allow_failures is True
+
+
+class _StubEngine:
+    """run_panel stand-in returning a canned result with failures."""
+
+    def __init__(self, failures):
+        from types import SimpleNamespace
+
+        from repro.resilience import ExecutorStats
+
+        self.stats = ExecutorStats()
+        sim = SimpleNamespace(failures=list(failures), points=[])
+        self._result = SimpleNamespace(simulation=sim, model=None)
+
+    def run_panel(self, spec, **kwargs):
+        return self._result
+
+
+def _stub_failure():
+    from types import SimpleNamespace
+
+    return SimpleNamespace(
+        index=2, rate=0.12, kind="worker-dead", attempts=5, message="boom"
+    )
+
+
+class TestFailureExitCodes:
+    """`repro panel` exits non-zero when points exhausted their retries."""
+
+    @pytest.fixture(autouse=True)
+    def _stub_rendering(self, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "format_panel_table", lambda result: "table")
+
+    def test_partial_sweep_exits_nonzero(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli, "_sweep_engine", lambda args: _StubEngine([_stub_failure()])
+        )
+        assert main(["panel", "fig1_h40"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED point 2" in captured.out
+        assert "--allow-failures" in captured.err
+
+    def test_allow_failures_opts_out(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli, "_sweep_engine", lambda args: _StubEngine([_stub_failure()])
+        )
+        assert main(["panel", "fig1_h40", "--allow-failures"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_clean_sweep_exits_zero(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "_sweep_engine", lambda args: _StubEngine([]))
+        assert main(["panel", "fig1_h40"]) == 0
+        assert capsys.readouterr().err == ""

@@ -1,0 +1,167 @@
+"""Acceptance test: distributed chaos equivalence (ISSUE 9 tentpole).
+
+A two-worker ``FileQueueBackend`` campaign with injected worker kills
+(``worker-kill``: the claimer dies with ``os._exit`` before computing)
+and heartbeat stalls (``heartbeat-stall``: the claimer freezes its
+heartbeat/lease refresh past the coordinator's timeout) must
+
+* complete with zero terminal failures,
+* be **bit-identical** to the same campaign on the default
+  ``LocalPoolBackend`` with faults off, and
+* leak **no** coordination files afterward — queue entries, leases,
+  results, heartbeats, or ``*.tmp`` orphans (the coordinator owns and
+  drains its spawned fleet, so unlike the in-process worker tests this
+  asserts the full zero-leak guarantee, results included).
+
+As in ``test_chaos_equivalence``, the fault seeds are *searched*, not
+guessed: draws are pure SHA-256 functions of (kind, seed, point seed,
+attempt), so we scan for seeds that place at least one kill and one
+stall on distinct always-computed points' first attempts and nothing on
+any retry attempt — the chaos is deterministic and guaranteed to fire,
+and every retried attempt is guaranteed clean, so the campaign must
+converge to the fault-free result.
+"""
+
+from pathlib import Path
+
+from repro.backends import FileQueueBackend
+from repro.experiments import SweepEngine, point_seed
+from repro.faults import ENV_VAR, FaultPlan, FaultSpec
+from test_sweep_engine import tiny_panel
+
+PANEL = "tiny"
+RATES = (0.002, 0.01, 0.12, 0.18)  # index 2 is the first saturated rate
+BASE_SEED = 7
+MAX_RETRIES = 4
+FAULT_RATE = 0.25
+STALL_SECS = 2.0  # > heartbeat_timeout below: the stalled lease is lost
+SIM_KWARGS = dict(seed=BASE_SEED, measure_cycles=3_000, warmup_cycles=500)
+
+POINT_SEEDS = [point_seed(BASE_SEED, PANEL, i) for i in range(len(RATES))]
+
+
+def _plan(kind: str, seed: int) -> FaultPlan:
+    return FaultPlan(
+        {kind: FaultSpec(kind=kind, rate=FAULT_RATE, seed=seed, secs=STALL_SECS)}
+    )
+
+
+def _clean_retries(plan: FaultPlan, kind: str) -> bool:
+    """No draw fires on any retry attempt — every requeue succeeds."""
+    return not any(
+        plan.triggers(kind, s, a)
+        for s in POINT_SEEDS
+        for a in range(1, MAX_RETRIES + 1)
+    )
+
+
+def _find_kill_seed() -> int:
+    """Kill at least one of points 0–2 on attempt 0; retries all clean.
+
+    Points 0–2 are always computed (the panel early-stops after the
+    first saturated rate, index 2), so the kill is guaranteed to fire.
+    """
+    for seed in range(50_000):
+        plan = _plan("worker-kill", seed)
+        if not any(plan.triggers("worker-kill", POINT_SEEDS[i], 0) for i in (0, 1, 2)):
+            continue
+        if _clean_retries(plan, "worker-kill"):
+            return seed
+    raise AssertionError("no suitable worker-kill seed in range")  # pragma: no cover
+
+
+def _find_stall_seed(kill_plan: FaultPlan) -> int:
+    """Stall one of points 0–2 on attempt 0, on a point the kill spares.
+
+    Keeping the kill and stall on distinct points means the kill cannot
+    pre-empt the stall (a killed worker never reaches the stall hook),
+    so both fault kinds are guaranteed to actually fire.
+    """
+    for seed in range(50_000):
+        plan = _plan("heartbeat-stall", seed)
+        hits = [
+            i
+            for i in (0, 1, 2)
+            if plan.triggers("heartbeat-stall", POINT_SEEDS[i], 0)
+        ]
+        if not hits:
+            continue
+        if any(kill_plan.triggers("worker-kill", POINT_SEEDS[i], 0) for i in hits):
+            continue
+        if _clean_retries(plan, "heartbeat-stall"):
+            return seed
+    raise AssertionError("no suitable heartbeat-stall seed in range")  # pragma: no cover
+
+
+def _campaign_leftovers(root: Path) -> list:
+    """Every coordination file a finished campaign must not leak."""
+    return (
+        list(root.glob("queue/*"))
+        + list(root.glob("leases/*"))
+        + list(root.glob("results/*"))
+        + list(root.glob("heartbeats/*"))
+        + list(root.rglob("*.tmp"))
+    )
+
+
+class TestDistributedChaosEquivalence:
+    def test_two_worker_campaign_with_kills_and_stalls_matches_local(
+        self, tmp_path, monkeypatch
+    ):
+        spec = tiny_panel(PANEL, rates=RATES)
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        reference = SweepEngine(jobs=1, use_cache=False).run_panel(
+            spec, **SIM_KWARGS
+        )
+        assert not reference.simulation.failures
+
+        # Faults must be in the environment *before* the backend spawns
+        # its worker subprocesses: they inherit os.environ, and only
+        # processes entered through `repro worker` arm the worker-side
+        # fault hooks — the coordinator (this pytest process) stays safe.
+        kill_seed = _find_kill_seed()
+        stall_seed = _find_stall_seed(_plan("worker-kill", kill_seed))
+        monkeypatch.setenv(
+            ENV_VAR,
+            f"worker-kill:rate={FAULT_RATE},seed={kill_seed};"
+            f"heartbeat-stall:rate={FAULT_RATE},seed={stall_seed},"
+            f"secs={STALL_SECS}",
+        )
+
+        campaign = tmp_path / "campaign"
+        backend = FileQueueBackend(
+            campaign,
+            spawn_workers=2,
+            lease_timeout=4.0,
+            heartbeat_timeout=1.5,
+            poll_interval=0.05,
+            clock_skew=0.25,
+            speculate_factor=None,
+            worker_heartbeat_interval=0.3,
+            worker_poll_interval=0.05,
+        )
+        engine = SweepEngine(
+            jobs=1,
+            use_cache=False,
+            cache_dir=tmp_path / "store",
+            max_retries=MAX_RETRIES,
+            backoff_base=0.001,
+            backend=backend,
+        )
+        chaotic = engine.run_panel(spec, **SIM_KWARGS)
+
+        # Bit-identical to the fault-free local run, no terminal failures.
+        assert chaotic.simulation == reference.simulation
+        assert chaotic.model == reference.model
+        assert not chaotic.simulation.failures
+
+        # The chaos actually happened and was survived: the kill and the
+        # stall each cost one charged requeue, and the killed worker was
+        # detected dead (stale heartbeat) and its replacement spawned.
+        assert engine.stats.retries >= 2, "injected faults never fired"
+        assert engine.stats.pool_rebuilds >= 2
+        assert engine.stats.failures == 0
+
+        # Full zero-leak guarantee: the coordinator drained its fleet,
+        # so nothing may remain — not even late duplicate results.
+        assert _campaign_leftovers(campaign) == []
